@@ -1,0 +1,120 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. level-based (nested-set) MSTs vs flattening everything into one set,
+//! 2. reuse-aware vs reuse-agnostic windows (paper Section 6.3 reports an
+//!    11 % gap),
+//! 3. the load-balance threshold (paper default 10 %),
+//! 4. colour-preserving vs scrambled page allocation (the paper's OS
+//!    support vs a stock allocator),
+//! 5. synchronization transitive reduction on vs off (arc counts).
+//!
+//! ```text
+//! cargo run --release -p dmcp-bench --bin ablations [-- --scale-tiny]
+//! ```
+
+use dmcp::core::{PartitionConfig, Partitioner, PlanOptions};
+use dmcp::mach::MachineConfig;
+use dmcp::mem::page::PagePolicy;
+use dmcp::sim::scenarios::partition_guided;
+use dmcp::sim::{run_schedules, SimOptions};
+use dmcp::workloads::{all, Scale, Workload};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--scale-tiny") {
+        Scale::Tiny
+    } else {
+        Scale::Small
+    };
+    reuse_ablation(scale);
+    balance_ablation(scale);
+    page_policy_ablation(scale);
+    sync_reduction_stats(scale);
+}
+
+fn run(w: &Workload, cfg: PartitionConfig) -> (f64, u64) {
+    let machine = MachineConfig::knl_like();
+    let part = Partitioner::new(&machine, &w.program, cfg);
+    let out = partition_guided(&part, &w.program, &w.data, SimOptions::default());
+    let r = run_schedules(&w.program, part.layout(), &out, SimOptions::default());
+    (r.exec_time, r.movement)
+}
+
+/// Reuse-aware vs reuse-agnostic planning (Figure 20's companion text).
+fn reuse_ablation(scale: Scale) {
+    println!("\n== Ablation: reuse-aware vs reuse-agnostic planning ==");
+    println!("{:<10} {:>14} {:>14} {:>8}", "app", "aware(move)", "agnostic(move)", "gap");
+    for w in all(scale) {
+        let aware = run(&w, PartitionConfig::default()).1;
+        let agnostic = run(
+            &w,
+            PartitionConfig {
+                opts: PlanOptions { reuse_aware: false, ..PlanOptions::default() },
+                ..PartitionConfig::default()
+            },
+        )
+        .1;
+        let gap = if aware == 0 { 0.0 } else { agnostic as f64 / aware as f64 - 1.0 };
+        println!("{:<10} {:>14} {:>14} {:>+7.1}%", w.name, aware, agnostic, 100.0 * gap);
+    }
+}
+
+/// Load-balance threshold sweep (the paper's configurable 10 %).
+fn balance_ablation(scale: Scale) {
+    println!("\n== Ablation: load-balance skip threshold (exec time) ==");
+    print!("{:<10}", "app");
+    let thresholds = [0.0, 0.05, 0.10, 0.25, 1.0];
+    for t in thresholds {
+        print!(" {:>9}", format!("{:.0}%", t * 100.0));
+    }
+    println!();
+    for w in all(scale) {
+        print!("{:<10}", w.name);
+        for t in thresholds {
+            let (time, _) = run(
+                &w,
+                PartitionConfig {
+                    opts: PlanOptions { balance_threshold: t, ..PlanOptions::default() },
+                    ..PartitionConfig::default()
+                },
+            );
+            print!(" {:>9.0}", time);
+        }
+        println!();
+    }
+}
+
+/// The paper's colour-preserving OS page allocation vs a stock allocator:
+/// without preserved bits the compiler's location detection degrades.
+fn page_policy_ablation(scale: Scale) {
+    println!("\n== Ablation: colour-preserving vs scrambled page allocation ==");
+    println!("{:<10} {:>16} {:>16}", "app", "preserving(move)", "scrambled(move)");
+    for w in all(scale) {
+        let keep = run(&w, PartitionConfig::default()).1;
+        let scram = run(
+            &w,
+            PartitionConfig { page_policy: PagePolicy::Scramble, ..PartitionConfig::default() },
+        )
+        .1;
+        println!("{:<10} {:>16} {:>16}", w.name, keep, scram);
+    }
+}
+
+/// Synchronization arcs before/after transitive reduction (Figure 15's
+/// companion: how much the Midkiff–Padua-style pass removes).
+fn sync_reduction_stats(scale: Scale) {
+    println!("\n== Ablation: synchronization transitive reduction ==");
+    println!("{:<10} {:>10} {:>10} {:>9}", "app", "arcs-before", "arcs-after", "removed");
+    let machine = MachineConfig::knl_like();
+    for w in all(scale) {
+        let part = Partitioner::new(&machine, &w.program, PartitionConfig::default());
+        let out = part.partition_with_data(&w.program, &w.data);
+        let before: u64 = out.nests.iter().map(|n| n.stats.syncs_before).sum();
+        let after: u64 = out.nests.iter().map(|n| n.stats.syncs_after).sum();
+        let removed = if before == 0 {
+            0.0
+        } else {
+            100.0 * (before - after) as f64 / before as f64
+        };
+        println!("{:<10} {:>10} {:>10} {:>8.1}%", w.name, before, after, removed);
+    }
+}

@@ -1,0 +1,516 @@
+//! The top-level partitioner: per-nest window-size search + full planning.
+//!
+//! For every loop nest the partitioner runs the pre-processing step of paper
+//! Section 4.4: it plans a sample of the nest with every window size from 1
+//! to `max_window` (8), computes the resulting data movement, picks the
+//! best size, and then plans the entire nest with it. The result is one
+//! [`Schedule`] per nest plus all the statistics the evaluation needs.
+
+use crate::layout::Layout;
+use crate::split::{HitPredictor, PlanOptions};
+use crate::step::Schedule;
+use crate::window::{plan_nest, NestPlan, NestStats};
+use dmcp_ir::program::{DataStore, Program};
+use dmcp_mach::{MachineConfig, Mesh, NodeId};
+use dmcp_mem::page::PagePolicy;
+use dmcp_mem::{Cache, MissPredictor};
+
+/// How to construct the L2 hit predictor for each planning run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredictorSpec {
+    /// Reuse-distance predictor sized to the machine's aggregate L2
+    /// (the realistic configuration; paper Table 2).
+    Reuse,
+    /// Plan-time model of the actual L2 contents (near-perfect; used by the
+    /// ideal-data-analysis scenario).
+    L2Model,
+    /// Always predict on-chip hits (tests/ablations).
+    AlwaysHit,
+}
+
+impl PredictorSpec {
+    /// Builds a fresh predictor for one nest-planning run.
+    pub fn build(self, machine: &MachineConfig) -> HitPredictor {
+        match self {
+            PredictorSpec::Reuse => {
+                let lines = u64::from(machine.l2_bank_bytes / machine.cache_line)
+                    * u64::from(machine.mesh.node_count());
+                HitPredictor::Reuse(MissPredictor::new(lines))
+            }
+            PredictorSpec::L2Model => {
+                let sets = machine.l2_sets() * machine.mesh.node_count();
+                HitPredictor::L2Model(Cache::new(sets, machine.l2_ways))
+            }
+            PredictorSpec::AlwaysHit => HitPredictor::AlwaysHit,
+        }
+    }
+}
+
+/// Partitioner configuration.
+#[derive(Clone, Debug)]
+pub struct PartitionConfig {
+    /// OS page-allocation policy (colour-preserving unless ablating).
+    pub page_policy: PagePolicy,
+    /// Planner options (reuse awareness, ideal analysis, balance threshold).
+    pub opts: PlanOptions,
+    /// Which predictor to use.
+    pub predictor: PredictorSpec,
+    /// Largest window size the pre-processing step tries (paper: 8).
+    pub max_window: usize,
+    /// Statement instances sampled per candidate window size during the
+    /// search.
+    pub search_sample: u64,
+    /// Bypass the search and use a fixed window size for every nest
+    /// (Figure 20's fixed-window bars).
+    pub fixed_window: Option<usize>,
+    /// Iteration→core assignment; `None` selects a chunked default.
+    pub assignment: Option<Vec<NodeId>>,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        Self {
+            page_policy: PagePolicy::ColorPreserving,
+            opts: PlanOptions::default(),
+            predictor: PredictorSpec::Reuse,
+            max_window: 8,
+            search_sample: 256,
+            fixed_window: None,
+            assignment: None,
+        }
+    }
+}
+
+/// One partitioned nest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NestPartition {
+    /// Index of the nest within the program.
+    pub nest: usize,
+    /// The subcomputation schedule.
+    pub schedule: Schedule,
+    /// Planning statistics (including the chosen window size).
+    pub stats: NestStats,
+}
+
+/// The partitioner's full output.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PartitionOutput {
+    /// One partition per nest, in program order.
+    pub nests: Vec<NestPartition>,
+}
+
+impl PartitionOutput {
+    /// Total planned movement of the optimized schedules.
+    pub fn movement_opt(&self) -> u64 {
+        self.nests.iter().map(|n| n.stats.movement_opt).sum()
+    }
+
+    /// Total planned movement of default execution.
+    pub fn movement_default(&self) -> u64 {
+        self.nests.iter().map(|n| n.stats.movement_default).sum()
+    }
+
+    /// Mean per-instance movement reduction across all nests.
+    pub fn avg_movement_reduction(&self) -> f64 {
+        let (mut sum, mut n) = (0.0, 0u64);
+        for nest in &self.nests {
+            for r in &nest.stats.records {
+                if r.movement_default > 0 {
+                    sum += r.movement_reduction();
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Maximum per-instance movement reduction.
+    pub fn max_movement_reduction(&self) -> f64 {
+        self.nests
+            .iter()
+            .map(|n| n.stats.max_movement_reduction())
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean degree of subcomputation parallelism.
+    pub fn avg_parallelism(&self) -> f64 {
+        let total: usize = self.nests.iter().map(|n| n.stats.records.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.nests
+            .iter()
+            .flat_map(|n| n.stats.records.iter())
+            .map(|r| f64::from(r.parallelism))
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Maximum degree of subcomputation parallelism.
+    pub fn max_parallelism(&self) -> u32 {
+        self.nests.iter().map(|n| n.stats.max_parallelism()).max().unwrap_or(0)
+    }
+
+    /// Cross-node synchronizations per statement instance, after
+    /// minimisation.
+    pub fn syncs_per_statement(&self) -> f64 {
+        let instances: u64 = self.nests.iter().map(|n| n.stats.instances).sum();
+        if instances == 0 {
+            return 0.0;
+        }
+        let syncs: u64 = self.nests.iter().map(|n| n.stats.syncs_after).sum();
+        syncs as f64 / instances as f64
+    }
+
+    /// Aggregate re-mapped op mix (Table 3).
+    pub fn remapped(&self) -> crate::stats::OpMix {
+        let mut mix = crate::stats::OpMix::default();
+        for n in &self.nests {
+            mix.merge(n.stats.remapped);
+        }
+        mix
+    }
+
+    /// Chosen window size per nest.
+    pub fn window_sizes(&self) -> Vec<usize> {
+        self.nests.iter().map(|n| n.stats.window_size).collect()
+    }
+}
+
+/// The data-movement-aware computation partitioner.
+#[derive(Clone, Debug)]
+pub struct Partitioner {
+    machine: MachineConfig,
+    layout: Layout,
+    config: PartitionConfig,
+}
+
+impl Partitioner {
+    /// Creates a partitioner for `machine`, eagerly building the memory
+    /// layout of `program` under the configured page policy.
+    pub fn new(machine: &MachineConfig, program: &Program, config: PartitionConfig) -> Self {
+        let layout = Layout::new(machine, program, config.page_policy);
+        Self { machine: machine.clone(), layout, config }
+    }
+
+    /// The memory layout in use (shared with the simulator so both sides
+    /// agree on addresses).
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Mutable access to the layout, for installing data-to-MC overrides
+    /// before partitioning (Figure 23's combined scheme).
+    pub fn layout_mut(&mut self) -> &mut Layout {
+        &mut self.layout
+    }
+
+    /// The machine configuration.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PartitionConfig {
+        &self.config
+    }
+
+    /// Partitions every nest of the program using its deterministic initial
+    /// data for indirection resolution.
+    pub fn partition(&self, program: &Program) -> PartitionOutput {
+        let data = program.initial_data();
+        self.partition_with_data(program, &data)
+    }
+
+    /// Partitions every nest, resolving indirect references through `data`
+    /// (the inspector-collected information).
+    pub fn partition_with_data(&self, program: &Program, data: &DataStore) -> PartitionOutput {
+        let nests = (0..program.nests().len())
+            .map(|n| self.partition_nest(program, n, data, false))
+            .collect();
+        PartitionOutput { nests }
+    }
+
+    /// Generates the *default* (iteration-granularity) schedule for every
+    /// nest: one sequence of steps per statement instance, all on the
+    /// iteration's assigned core.
+    pub fn baseline(&self, program: &Program, data: &DataStore) -> PartitionOutput {
+        let nests = (0..program.nests().len())
+            .map(|n| self.partition_nest(program, n, data, true))
+            .collect();
+        PartitionOutput { nests }
+    }
+
+    fn partition_nest(
+        &self,
+        program: &Program,
+        nest_index: usize,
+        data: &DataStore,
+        force_default: bool,
+    ) -> NestPartition {
+        let nest = &program.nests()[nest_index];
+        let iters = nest.iteration_count();
+        let assignment = match &self.config.assignment {
+            Some(a) => a.clone(),
+            None => chunked_assignment(self.machine.mesh, iters),
+        };
+        let window = if force_default {
+            1
+        } else {
+            match self.config.fixed_window {
+                Some(w) => w,
+                None => self.search_window(program, nest_index, data, &assignment),
+            }
+        };
+        let NestPlan { schedule, stats } = plan_nest(
+            program,
+            nest_index,
+            &self.layout,
+            data,
+            self.config.predictor.build(&self.machine),
+            self.config.opts,
+            window,
+            &assignment,
+            None,
+            force_default,
+        );
+        // Nest-level split-vs-default decision: splitting a nest is only
+        // worthwhile when its planned movement clearly beats default
+        // execution (mixed placements destroy each other's L1 locality, so
+        // the choice is made for the whole nest). Judged on the warm half
+        // of the records — the cold-start sweep (all predicted misses) is
+        // unrepresentative of steady state.
+        let skip = stats.records.len() / 2;
+        let warm_opt: u64 = stats.records[skip..].iter().map(|r| r.movement_opt).sum();
+        let warm_def: u64 =
+            stats.records[skip..].iter().map(|r| r.movement_default).sum();
+        if !force_default
+            && warm_opt as f64 > self.config.opts.split_threshold * warm_def as f64
+        {
+            let NestPlan { schedule, stats: mut dstats } = plan_nest(
+                program,
+                nest_index,
+                &self.layout,
+                data,
+                self.config.predictor.build(&self.machine),
+                self.config.opts,
+                window,
+                &assignment,
+                None,
+                true,
+            );
+            dstats.window_size = window;
+            return NestPartition { nest: nest_index, schedule, stats: dstats };
+        }
+        NestPartition { nest: nest_index, schedule, stats }
+    }
+
+    /// The pre-processing step: plans a sample with every window size and
+    /// returns the one minimising total data movement (ties prefer the
+    /// smaller window, which compiles faster and pollutes less).
+    fn search_window(
+        &self,
+        program: &Program,
+        nest_index: usize,
+        data: &DataStore,
+        assignment: &[NodeId],
+    ) -> usize {
+        let mut best = (u64::MAX, 1usize);
+        for w in 1..=self.config.max_window.max(1) {
+            let trial = plan_nest(
+                program,
+                nest_index,
+                &self.layout,
+                data,
+                self.config.predictor.build(&self.machine),
+                self.config.opts,
+                w,
+                assignment,
+                Some(self.config.search_sample),
+                false,
+            );
+            // Measure on the warm half of the sample only: the cold-start
+            // sweep (everything predicted to miss) is unrepresentative of
+            // the steady state the chosen window will mostly run in.
+            let skip = trial.stats.records.len() / 2;
+            let movement: u64 =
+                trial.stats.records[skip..].iter().map(|r| r.movement_opt).sum();
+            if movement < best.0 {
+                best = (movement, w);
+            }
+        }
+        best.1
+    }
+}
+
+/// The default iteration→core assignment: the iteration space is divided
+/// into `node_count` contiguous chunks, chunk `k` owned by node `k` (in
+/// row-major node order). Returns one entry per iteration.
+pub fn chunked_assignment(mesh: Mesh, iterations: u64) -> Vec<NodeId> {
+    let nodes: Vec<NodeId> = mesh.nodes().collect();
+    if iterations == 0 {
+        return vec![nodes[0]];
+    }
+    let chunk = iterations.div_ceil(nodes.len() as u64).max(1);
+    (0..iterations)
+        .map(|i| nodes[((i / chunk) as usize).min(nodes.len() - 1)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcp_ir::exec::run_sequential;
+    use dmcp_ir::ProgramBuilder;
+
+    fn program(stmts: &[&str], iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        for n in ["A", "B", "C", "D", "E", "X", "Y", "Z"] {
+            b.array(n, &[512], 64);
+        }
+        // A short timing loop keeps the L2 warm — the regime the paper
+        // evaluates in (16–37 % L2 miss rates).
+        b.nest(&[("t", 0, 2), ("i", 0, iters)], stmts).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn chunked_assignment_covers_all_iterations() {
+        let mesh = Mesh::new(4, 4);
+        let a = chunked_assignment(mesh, 100);
+        assert_eq!(a.len(), 100);
+        let distinct: std::collections::HashSet<_> = a.iter().collect();
+        assert!(distinct.len() >= 14, "chunks should spread over nodes");
+        // Chunks are contiguous.
+        assert_eq!(a[0], a[1]);
+    }
+
+    #[test]
+    fn chunked_assignment_small_spaces() {
+        let mesh = Mesh::new(6, 6);
+        let a = chunked_assignment(mesh, 3);
+        assert_eq!(a.len(), 3);
+        let a0 = chunked_assignment(mesh, 0);
+        assert_eq!(a0.len(), 1);
+    }
+
+    #[test]
+    fn partition_improves_on_baseline_movement() {
+        let p = program(&["A[i] = B[i] + C[i] + D[i] + E[i]"], 128);
+        let machine = MachineConfig::knl_like();
+        let part = Partitioner::new(&machine, &p, PartitionConfig::default());
+        let data = p.initial_data();
+        let opt = part.partition_with_data(&p, &data);
+        let base = part.baseline(&p, &data);
+        assert!(
+            opt.movement_opt() < base.movement_opt(),
+            "optimized {} vs baseline {}",
+            opt.movement_opt(),
+            base.movement_opt()
+        );
+        assert!(opt.avg_movement_reduction() > 0.0);
+    }
+
+    #[test]
+    fn partitioned_schedules_stay_correct() {
+        let p = program(
+            &["A[i] = B[i] + C[i] * (D[i] - E[i])", "X[i] = A[i] + C[i]"],
+            48,
+        );
+        let machine = MachineConfig::knl_like();
+        let part = Partitioner::new(&machine, &p, PartitionConfig::default());
+        let out = part.partition(&p);
+        let mut got = p.initial_data();
+        for n in &out.nests {
+            n.schedule.validate().unwrap();
+            n.schedule.execute_values(&mut got);
+        }
+        let mut want = p.initial_data();
+        run_sequential(&p, &mut want);
+        // Division folds may differ in the last ulp (1/(C+1)·B vs B/(C+1)).
+        assert!(got.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn window_search_never_loses_to_the_smallest_window() {
+        // The adaptive pre-processing step may keep window 1 when the
+        // persistent-residency model already captures the reuse, but its
+        // choice must never plan more movement than the fixed window 1.
+        let p = program(
+            &["A[i] = B[i] + C[i] + D[i] + E[i]", "X[i] = Y[i] + C[i]"],
+            128,
+        );
+        let machine = MachineConfig::knl_like();
+        let adaptive = Partitioner::new(&machine, &p, PartitionConfig::default());
+        let fixed = Partitioner::new(
+            &machine,
+            &p,
+            PartitionConfig { fixed_window: Some(1), ..PartitionConfig::default() },
+        );
+        let a = adaptive.partition(&p);
+        let f = fixed.partition(&p);
+        assert!(
+            a.movement_opt() <= f.movement_opt() * 101 / 100,
+            "adaptive {} vs fixed-1 {}",
+            a.movement_opt(),
+            f.movement_opt()
+        );
+        assert!((1..=8).contains(&a.window_sizes()[0]));
+    }
+
+    #[test]
+    fn fixed_window_bypasses_search() {
+        let p = program(&["A[i] = B[i] + C[i]"], 32);
+        let machine = MachineConfig::knl_like();
+        let cfg = PartitionConfig { fixed_window: Some(5), ..PartitionConfig::default() };
+        let part = Partitioner::new(&machine, &p, cfg);
+        let out = part.partition(&p);
+        assert_eq!(out.window_sizes(), vec![5]);
+    }
+
+    #[test]
+    fn baseline_schedule_is_correct_too() {
+        let p = program(&["A[i] = B[i] / (C[i] + 1) - D[i]"], 32);
+        let machine = MachineConfig::knl_like();
+        let part = Partitioner::new(&machine, &p, PartitionConfig::default());
+        let data = p.initial_data();
+        let base = part.baseline(&p, &data);
+        let mut got = p.initial_data();
+        for n in &base.nests {
+            n.schedule.execute_values(&mut got);
+        }
+        let mut want = p.initial_data();
+        run_sequential(&p, &mut want);
+        // Division folds may differ in the last ulp (1/(C+1)·B vs B/(C+1)).
+        assert!(got.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn predictor_specs_build() {
+        let machine = MachineConfig::knl_like();
+        for spec in [PredictorSpec::Reuse, PredictorSpec::L2Model, PredictorSpec::AlwaysHit] {
+            let mut p = spec.build(&machine);
+            let _ = p.predict(dmcp_mem::LineAddr::new(1));
+        }
+    }
+
+    #[test]
+    fn multi_nest_programs_partition_every_nest() {
+        let mut b = ProgramBuilder::new();
+        for n in ["A", "B", "C"] {
+            b.array(n, &[128], 8);
+        }
+        b.nest(&[("i", 0, 16)], &["A[i] = B[i] + C[i]"]).unwrap();
+        b.nest(&[("i", 0, 8)], &["C[i] = A[i] * 2"]).unwrap();
+        let p = b.build();
+        let machine = MachineConfig::knl_like();
+        let part = Partitioner::new(&machine, &p, PartitionConfig::default());
+        let out = part.partition(&p);
+        assert_eq!(out.nests.len(), 2);
+        assert_eq!(out.nests[1].nest, 1);
+    }
+}

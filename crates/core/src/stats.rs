@@ -1,0 +1,142 @@
+//! Per-statement planning records and aggregate statistics.
+
+use crate::step::StmtTag;
+use dmcp_ir::op::OpCategory;
+
+/// Counts of re-mapped (offloaded) operations by category — the paper's
+/// Table 3.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpMix {
+    /// Additions/subtractions.
+    pub add_sub: u64,
+    /// Multiplications/divisions.
+    pub mul_div: u64,
+    /// Shifts, logical ops, etc.
+    pub other: u64,
+}
+
+impl OpMix {
+    /// Records one operation.
+    pub fn record(&mut self, cat: OpCategory) {
+        match cat {
+            OpCategory::AddSub => self.add_sub += 1,
+            OpCategory::MulDiv => self.mul_div += 1,
+            OpCategory::Other => self.other += 1,
+        }
+    }
+
+    /// Total operations recorded.
+    pub fn total(&self) -> u64 {
+        self.add_sub + self.mul_div + self.other
+    }
+
+    /// Fractions `(add_sub, mul_div, other)`; zeros when empty.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = t as f64;
+        (
+            self.add_sub as f64 / t,
+            self.mul_div as f64 / t,
+            self.other as f64 / t,
+        )
+    }
+
+    /// Accumulates another mix into this one.
+    pub fn merge(&mut self, other: OpMix) {
+        self.add_sub += other.add_sub;
+        self.mul_div += other.mul_div;
+        self.other += other.other;
+    }
+}
+
+/// Everything the planner learned about one statement instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StmtRecord {
+    /// Which statement instance.
+    pub tag: StmtTag,
+    /// Planned data movement (links × lines) of the optimized schedule.
+    pub movement_opt: u64,
+    /// Planned data movement of the default (iteration-granularity)
+    /// execution of the same instance.
+    pub movement_default: u64,
+    /// Degree of subcomputation parallelism (max antichain width of the
+    /// statement's step DAG).
+    pub parallelism: u32,
+    /// Number of subcomputations emitted.
+    pub step_count: u32,
+    /// Operand fetches satisfied from a planned L1 copy.
+    pub planned_l1_hits: u32,
+    /// Re-mapped operations by category (ops executed away from the
+    /// iteration's assigned core).
+    pub remapped: OpMix,
+    /// `true` if the statement fell back to default-style execution
+    /// (unanalyzable store target).
+    pub fallback: bool,
+    /// Index of this statement's first step in the schedule.
+    pub first_step: u32,
+    /// One past this statement's last step.
+    pub last_step: u32,
+}
+
+impl StmtRecord {
+    /// Fractional reduction in data movement vs default (0 when default had
+    /// none).
+    pub fn movement_reduction(&self) -> f64 {
+        if self.movement_default == 0 {
+            0.0
+        } else {
+            1.0 - self.movement_opt as f64 / self.movement_default as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opmix_fractions() {
+        let mut m = OpMix::default();
+        m.record(OpCategory::AddSub);
+        m.record(OpCategory::AddSub);
+        m.record(OpCategory::MulDiv);
+        m.record(OpCategory::Other);
+        let (a, md, o) = m.fractions();
+        assert!((a - 0.5).abs() < 1e-12);
+        assert!((md - 0.25).abs() < 1e-12);
+        assert!((o - 0.25).abs() < 1e-12);
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn opmix_merge() {
+        let mut a = OpMix { add_sub: 1, mul_div: 2, other: 3 };
+        a.merge(OpMix { add_sub: 10, mul_div: 20, other: 30 });
+        assert_eq!(a, OpMix { add_sub: 11, mul_div: 22, other: 33 });
+    }
+
+    #[test]
+    fn empty_mix_has_zero_fractions() {
+        assert_eq!(OpMix::default().fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn movement_reduction() {
+        let r = StmtRecord {
+            tag: StmtTag::default(),
+            movement_opt: 8,
+            movement_default: 13,
+            parallelism: 2,
+            step_count: 3,
+            planned_l1_hits: 0,
+            remapped: OpMix::default(),
+            fallback: false,
+            first_step: 0,
+            last_step: 3,
+        };
+        assert!((r.movement_reduction() - (1.0 - 8.0 / 13.0)).abs() < 1e-12);
+    }
+}

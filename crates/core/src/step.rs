@@ -1,0 +1,371 @@
+//! The schedule representation: subcomputations, operands and stores.
+//!
+//! A [`Schedule`] is the partitioner's output and the simulator's input: a
+//! flat list of [`Step`]s in a valid sequential order (statement instances in
+//! program order, steps within a statement in post-order over its MST).
+//! Each step is one *subcomputation* in the paper's sense: a fold of a few
+//! operands executed on a specific mesh node, optionally storing its result.
+//!
+//! The same representation expresses the unoptimized baseline (one step per
+//! statement instance, executed on the iteration's assigned core), so the
+//! simulator treats both identically.
+
+use dmcp_ir::{ArrayId, BinOp};
+use dmcp_mach::NodeId;
+use dmcp_mem::LineAddr;
+use std::fmt;
+
+/// Identifier of a step within a schedule (its index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubId(pub u32);
+
+impl SubId {
+    /// Index into [`Schedule::steps`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SubId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub#{}", self.0)
+    }
+}
+
+/// Where an operand's data lives on the machine, as believed at compile time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElemLoc {
+    /// The element's array.
+    pub array: ArrayId,
+    /// Linear element index.
+    pub elem: u64,
+    /// Physical cache line holding the element.
+    pub line: LineAddr,
+    /// The node the compiler believes supplies the data (home L2 bank, a
+    /// memory controller on a predicted L2 miss, or a node holding an L1
+    /// copy). The simulator measures where it *actually* comes from.
+    pub believed: NodeId,
+    /// Whether the owning array is flat-placed in fast memory.
+    pub hot: bool,
+}
+
+/// One input to a step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Operand {
+    /// A literal.
+    Const(f64),
+    /// An array element read from the memory system.
+    Elem(ElemLoc),
+    /// The partial result of an earlier step.
+    Temp(SubId),
+}
+
+/// An input together with the operator folding it into the accumulator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepInput {
+    /// `acc = op.apply(acc, value)`.
+    pub op: BinOp,
+    /// Where the value comes from.
+    pub operand: Operand,
+}
+
+/// The store performed by a statement's final step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreTarget {
+    /// Destination array.
+    pub array: ArrayId,
+    /// Destination element.
+    pub elem: u64,
+    /// Destination cache line.
+    pub line: LineAddr,
+    /// Home node of the destination line (the paper's "store node").
+    pub home: NodeId,
+    /// Whether the destination array is flat-placed in fast memory.
+    pub hot: bool,
+}
+
+/// Identifies the statement instance a step belongs to (for statistics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct StmtTag {
+    /// Loop-nest index within the program.
+    pub nest: u32,
+    /// Statement index within the nest body.
+    pub stmt: u32,
+    /// Global statement-instance number within the nest
+    /// (`iteration · body_len + stmt`).
+    pub instance: u64,
+}
+
+/// One subcomputation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Step {
+    /// This step's id (== its index in the schedule).
+    pub id: SubId,
+    /// The mesh node executing the subcomputation.
+    pub node: NodeId,
+    /// Accumulator seed; `None` means the first input's value initialises
+    /// the accumulator (its `op` is ignored) — used for non-reorderable
+    /// folds like shifts.
+    pub seed: Option<f64>,
+    /// The folded inputs, in application order.
+    pub inputs: Vec<StepInput>,
+    /// Set when this is a statement's final step.
+    pub store: Option<StoreTarget>,
+    /// Synchronisation arcs: steps that must complete before this one runs,
+    /// *beyond* those already implied by `Temp` inputs (inter-statement
+    /// dependences). Kept minimal by transitive reduction.
+    pub waits: Vec<SubId>,
+    /// The statement instance this step implements.
+    pub tag: StmtTag,
+}
+
+impl Step {
+    /// All producer steps this one depends on: temp inputs plus explicit
+    /// waits.
+    pub fn producers(&self) -> impl Iterator<Item = SubId> + '_ {
+        self.inputs
+            .iter()
+            .filter_map(|i| match i.operand {
+                Operand::Temp(t) => Some(t),
+                _ => None,
+            })
+            .chain(self.waits.iter().copied())
+    }
+
+    /// Cost of the step in operation units (division counts `div_factor`).
+    pub fn op_cost(&self, div_factor: f64) -> f64 {
+        self.inputs.iter().map(|i| i.op.cost(div_factor)).sum()
+    }
+}
+
+/// A complete schedule for one loop nest.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Schedule {
+    /// Steps in a valid sequential execution order.
+    pub steps: Vec<Step>,
+}
+
+impl Schedule {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if the schedule has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Executes the schedule's *values* sequentially, mutating `data`.
+    /// This is the correctness semantics; timing is the simulator's job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Temp` input references a later step (invalid schedule).
+    pub fn execute_values(&self, data: &mut dmcp_ir::program::DataStore) {
+        let mut temps = vec![f64::NAN; self.steps.len()];
+        for (k, step) in self.steps.iter().enumerate() {
+            let mut acc = step.seed;
+            for input in &step.inputs {
+                let value = match input.operand {
+                    Operand::Const(v) => v,
+                    Operand::Elem(e) => data.get(e.array, e.elem),
+                    Operand::Temp(t) => {
+                        assert!(t.index() < k, "temp {t:?} not yet produced at step {k}");
+                        temps[t.index()]
+                    }
+                };
+                acc = Some(match acc {
+                    None => value,
+                    Some(a) => input.op.apply(a, value),
+                });
+            }
+            let result = acc.unwrap_or(0.0);
+            temps[k] = result;
+            if let Some(st) = &step.store {
+                data.set(st.array, st.elem, result);
+            }
+        }
+    }
+
+    /// Checks structural sanity: ids match indices, temps and waits point
+    /// backwards. Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (k, step) in self.steps.iter().enumerate() {
+            if step.id.index() != k {
+                return Err(format!("step {k} has id {:?}", step.id));
+            }
+            for p in step.producers() {
+                if p.index() >= k {
+                    return Err(format!("step {k} depends on later step {p:?}"));
+                }
+            }
+            if step.seed.is_none() && step.inputs.is_empty() {
+                return Err(format!("step {k} has neither seed nor inputs"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcp_ir::program::ProgramBuilder;
+
+    fn elem(array: ArrayId, e: u64) -> Operand {
+        Operand::Elem(ElemLoc {
+            array,
+            elem: e,
+            line: LineAddr::new(0),
+            believed: NodeId::new(0, 0),
+            hot: false,
+        })
+    }
+
+    #[test]
+    fn fold_with_seed_and_temp() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", &[4], 8);
+        let x = b.array("X", &[4], 8);
+        let p = b.build();
+        let mut data = p.initial_data();
+        data.fill(x, &[2.0, 3.0, 4.0, 5.0]);
+
+        // Step 0: t0 = 0 + X[0] + X[1] = 5
+        // Step 1: A[0] = t0 * X[2] = 20
+        let sched = Schedule {
+            steps: vec![
+                Step {
+                    id: SubId(0),
+                    node: NodeId::new(0, 0),
+                    seed: Some(0.0),
+                    inputs: vec![
+                        StepInput { op: BinOp::Add, operand: elem(x, 0) },
+                        StepInput { op: BinOp::Add, operand: elem(x, 1) },
+                    ],
+                    store: None,
+                    waits: vec![],
+                    tag: StmtTag::default(),
+                },
+                Step {
+                    id: SubId(1),
+                    node: NodeId::new(1, 0),
+                    seed: Some(1.0),
+                    inputs: vec![
+                        StepInput { op: BinOp::Mul, operand: Operand::Temp(SubId(0)) },
+                        StepInput { op: BinOp::Mul, operand: elem(x, 2) },
+                    ],
+                    store: Some(StoreTarget {
+                        array: a,
+                        elem: 0,
+                        line: LineAddr::new(0),
+                        home: NodeId::new(1, 0),
+                        hot: false,
+                    }),
+                    waits: vec![],
+                    tag: StmtTag::default(),
+                },
+            ],
+        };
+        sched.validate().unwrap();
+        sched.execute_values(&mut data);
+        assert_eq!(data.get(a, 0), 20.0);
+    }
+
+    #[test]
+    fn seedless_step_uses_first_input() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", &[4], 8);
+        let x = b.array("X", &[4], 8);
+        let p = b.build();
+        let mut data = p.initial_data();
+        data.fill(x, &[2.0, 3.0, 0.0, 0.0]);
+        let sched = Schedule {
+            steps: vec![Step {
+                id: SubId(0),
+                node: NodeId::new(0, 0),
+                seed: None,
+                inputs: vec![
+                    StepInput { op: BinOp::Add, operand: elem(x, 0) }, // op ignored
+                    StepInput { op: BinOp::Shl, operand: elem(x, 1) },
+                ],
+                store: Some(StoreTarget {
+                    array: a,
+                    elem: 1,
+                    line: LineAddr::new(0),
+                    home: NodeId::new(0, 0),
+                    hot: false,
+                }),
+                waits: vec![],
+                tag: StmtTag::default(),
+            }],
+        };
+        sched.execute_values(&mut data);
+        assert_eq!(data.get(a, 1), 16.0); // 2 << 3
+    }
+
+    #[test]
+    fn validate_rejects_forward_temp() {
+        let sched = Schedule {
+            steps: vec![Step {
+                id: SubId(0),
+                node: NodeId::new(0, 0),
+                seed: Some(0.0),
+                inputs: vec![StepInput { op: BinOp::Add, operand: Operand::Temp(SubId(5)) }],
+                store: None,
+                waits: vec![],
+                tag: StmtTag::default(),
+            }],
+        };
+        assert!(sched.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_ids() {
+        let sched = Schedule {
+            steps: vec![Step {
+                id: SubId(7),
+                node: NodeId::new(0, 0),
+                seed: Some(0.0),
+                inputs: vec![StepInput { op: BinOp::Add, operand: Operand::Const(1.0) }],
+                store: None,
+                waits: vec![],
+                tag: StmtTag::default(),
+            }],
+        };
+        assert!(sched.validate().is_err());
+    }
+
+    #[test]
+    fn producers_include_waits() {
+        let step = Step {
+            id: SubId(2),
+            node: NodeId::new(0, 0),
+            seed: Some(0.0),
+            inputs: vec![StepInput { op: BinOp::Add, operand: Operand::Temp(SubId(0)) }],
+            store: None,
+            waits: vec![SubId(1)],
+            tag: StmtTag::default(),
+        };
+        let producers: Vec<_> = step.producers().collect();
+        assert_eq!(producers, vec![SubId(0), SubId(1)]);
+    }
+
+    #[test]
+    fn op_cost_weights_division() {
+        let step = Step {
+            id: SubId(0),
+            node: NodeId::new(0, 0),
+            seed: Some(1.0),
+            inputs: vec![
+                StepInput { op: BinOp::Mul, operand: Operand::Const(2.0) },
+                StepInput { op: BinOp::Div, operand: Operand::Const(4.0) },
+            ],
+            store: None,
+            waits: vec![],
+            tag: StmtTag::default(),
+        };
+        assert_eq!(step.op_cost(10.0), 11.0);
+    }
+}

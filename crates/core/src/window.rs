@@ -1,0 +1,536 @@
+//! Window-based multi-statement planning (paper Sections 4.3–4.4).
+//!
+//! Statement instances are streamed in execution order and grouped into
+//! windows of `w` consecutive instances. Within a window the
+//! `variable2node` map carries L1-residency knowledge from one statement to
+//! the next, so later MSTs can attach to nodes that already fetched shared
+//! data; the map is cleared at window boundaries (scheduling knowledge does
+//! not cross windows — Figure 12c).
+//!
+//! While planning, exact element-level dependences are tracked with
+//! last-writer / readers-since-write maps, producing the synchronization
+//! arcs that guarantee correctness; redundant arcs are removed per window by
+//! transitive reduction ([`crate::sync`]).
+
+use crate::split::{HitPredictor, PlanOptions, Planner};
+use crate::stats::{OpMix, StmtRecord};
+use crate::step::{Operand, Schedule, Step, StmtTag, SubId};
+use crate::sync::transitive_reduce;
+use crate::layout::Layout;
+use dmcp_ir::program::{DataStore, Program};
+use dmcp_ir::ArrayId;
+use dmcp_mach::NodeId;
+use std::collections::HashMap;
+
+/// Aggregated planning statistics for one nest.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NestStats {
+    /// The window size used.
+    pub window_size: usize,
+    /// Total planned movement of the optimized schedule (links × lines).
+    pub movement_opt: u64,
+    /// Total planned movement of default execution.
+    pub movement_default: u64,
+    /// Per-instance records.
+    pub records: Vec<StmtRecord>,
+    /// Cross-node synchronization arcs before transitive reduction.
+    pub syncs_before: u64,
+    /// Cross-node synchronization arcs after transitive reduction.
+    pub syncs_after: u64,
+    /// Re-mapped operation mix (Table 3).
+    pub remapped: OpMix,
+    /// Operand fetches planned to hit in an L1.
+    pub planned_l1_hits: u64,
+    /// Statement instances that fell back to default execution.
+    pub fallback_count: u64,
+    /// Total statement instances planned.
+    pub instances: u64,
+}
+
+impl NestStats {
+    /// Mean per-instance movement reduction (instances with zero default
+    /// movement are skipped).
+    pub fn avg_movement_reduction(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for r in &self.records {
+            if r.movement_default > 0 {
+                sum += r.movement_reduction();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Maximum per-instance movement reduction.
+    pub fn max_movement_reduction(&self) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.movement_default > 0)
+            .map(StmtRecord::movement_reduction)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean degree of subcomputation parallelism per statement.
+    pub fn avg_parallelism(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| f64::from(r.parallelism)).sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// Maximum degree of subcomputation parallelism.
+    pub fn max_parallelism(&self) -> u32 {
+        self.records.iter().map(|r| r.parallelism).max().unwrap_or(0)
+    }
+
+    /// Cross-node synchronizations per statement instance (after
+    /// minimisation).
+    pub fn syncs_per_statement(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.syncs_after as f64 / self.instances as f64
+        }
+    }
+}
+
+/// The planned schedule plus its statistics for one nest.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NestPlan {
+    /// The subcomputation schedule.
+    pub schedule: Schedule,
+    /// Planning statistics.
+    pub stats: NestStats,
+}
+
+/// Plans one loop nest with a fixed window size.
+///
+/// `assignment[it % assignment.len()]` is the default core of iteration
+/// `it`; `limit_instances` truncates planning (used by the window-size
+/// search); `force_default` generates the baseline schedule instead.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_nest(
+    program: &Program,
+    nest_index: usize,
+    layout: &Layout,
+    data: &DataStore,
+    predictor: HitPredictor,
+    opts: PlanOptions,
+    window: usize,
+    assignment: &[NodeId],
+    limit_instances: Option<u64>,
+    force_default: bool,
+) -> NestPlan {
+    assert!(window > 0, "window size must be at least 1");
+    assert!(!assignment.is_empty(), "need a default core assignment");
+    let nest = &program.nests()[nest_index];
+
+    let mut planner = Planner::new(program, layout, data, predictor, opts);
+
+    let mut steps: Vec<Step> = Vec::new();
+    let mut records: Vec<StmtRecord> = Vec::new();
+    let mut deps = DepTracker::default();
+    let mut syncs_before = 0u64;
+    let mut syncs_after = 0u64;
+
+    let mut window_first_step = 0usize;
+    let mut in_window = 0usize;
+    let mut instance: u64 = 0;
+    let limit = limit_instances.unwrap_or(u64::MAX);
+
+    'outer: for (it, iter) in nest.iterations().enumerate() {
+        let core = assignment[it % assignment.len()];
+        for (si, stmt) in nest.body.iter().enumerate() {
+            if instance >= limit {
+                break 'outer;
+            }
+            let tag = StmtTag { nest: nest_index as u32, stmt: si as u32, instance };
+            let rec =
+                planner.plan_statement(&mut steps, tag, stmt, &iter, core, force_default);
+            deps.wire(&mut steps, rec.first_step as usize, rec.last_step as usize);
+            records.push(rec);
+            instance += 1;
+            in_window += 1;
+            if in_window == window {
+                let (before, after) = reduce_window(&mut steps, window_first_step);
+                syncs_before += before;
+                syncs_after += after;
+                planner.l1.reset();
+                window_first_step = steps.len();
+                in_window = 0;
+            }
+        }
+    }
+    if in_window > 0 {
+        let (before, after) = reduce_window(&mut steps, window_first_step);
+        syncs_before += before;
+        syncs_after += after;
+    }
+
+    let mut stats = NestStats {
+        window_size: window,
+        syncs_before,
+        syncs_after,
+        instances: records.len() as u64,
+        ..NestStats::default()
+    };
+    for r in &records {
+        stats.movement_opt += r.movement_opt;
+        stats.movement_default += r.movement_default;
+        stats.planned_l1_hits += u64::from(r.planned_l1_hits);
+        stats.fallback_count += u64::from(r.fallback);
+        stats.remapped.merge(r.remapped);
+    }
+    stats.records = records;
+    NestPlan { schedule: Schedule { steps }, stats }
+}
+
+/// Element-level dependence tracking: inserts inter-statement wait arcs.
+#[derive(Default)]
+struct DepTracker {
+    last_write: HashMap<(ArrayId, u64), SubId>,
+    readers: HashMap<(ArrayId, u64), Vec<SubId>>,
+}
+
+impl DepTracker {
+    /// Wires dependences for the freshly planned steps `[first, last)`.
+    #[allow(clippy::needless_range_loop)] // parallel reads+writes of `steps`
+    fn wire(&mut self, steps: &mut [Step], first: usize, last: usize) {
+        for k in first..last {
+            let id = steps[k].id;
+            let mut waits: Vec<SubId> = Vec::new();
+            // Flow: wait for the last writer of every element we read.
+            for input in &steps[k].inputs {
+                if let Operand::Elem(e) = input.operand {
+                    let key = (e.array, e.elem);
+                    if let Some(&w) = self.last_write.get(&key) {
+                        if w != id {
+                            waits.push(w);
+                        }
+                    }
+                    self.readers.entry(key).or_default().push(id);
+                }
+            }
+            if let Some(st) = steps[k].store {
+                let key = (st.array, st.elem);
+                // Anti: all readers since the last write must be done.
+                if let Some(rs) = self.readers.remove(&key) {
+                    waits.extend(rs.into_iter().filter(|&r| r != id));
+                }
+                // Output: the previous writer must be done.
+                if let Some(&w) = self.last_write.get(&key) {
+                    if w != id {
+                        waits.push(w);
+                    }
+                }
+                self.last_write.insert(key, id);
+            }
+            waits.sort_unstable();
+            waits.dedup();
+            steps[k].waits = waits;
+        }
+    }
+}
+
+/// Transitive reduction of the window's sync arcs; returns the number of
+/// cross-node arcs (before, after). Arcs into steps before the window are
+/// preserved untouched.
+fn reduce_window(steps: &mut [Step], first: usize) -> (u64, u64) {
+    let window = &steps[first..];
+    let n = window.len();
+    if n == 0 {
+        return (0, 0);
+    }
+    let base = first;
+    // Predecessor lists over window-local indices: temp inputs + waits.
+    let mut preds: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut outside: Vec<Vec<SubId>> = Vec::with_capacity(n);
+    for s in window {
+        let mut p = Vec::new();
+        let mut out = Vec::new();
+        for prod in s.producers() {
+            if prod.index() >= base {
+                p.push(prod.index() - base);
+            } else {
+                out.push(prod);
+            }
+        }
+        preds.push(p);
+        outside.push(out);
+    }
+    let before = count_cross_node(steps, first, &preds, &outside);
+    let (reduced, _) = transitive_reduce(&preds);
+    let after = count_cross_node(steps, first, &reduced, &outside);
+
+    // Rewrite waits: reduced predecessors minus the temp-input arcs (those
+    // are value dependences carried by the inputs themselves).
+    for (k, red) in reduced.iter().enumerate() {
+        let idx = first + k;
+        let temps: Vec<usize> = steps[idx]
+            .inputs
+            .iter()
+            .filter_map(|i| match i.operand {
+                Operand::Temp(t) if t.index() >= base => Some(t.index() - base),
+                _ => None,
+            })
+            .collect();
+        let mut waits: Vec<SubId> = red
+            .iter()
+            .filter(|p| !temps.contains(p))
+            .map(|&p| SubId((base + p) as u32))
+            .collect();
+        waits.extend(outside[k].iter().copied());
+        waits.sort_unstable();
+        waits.dedup();
+        steps[idx].waits = waits;
+    }
+    (before, after)
+}
+
+/// Counts arcs whose producer and consumer run on different nodes (the ones
+/// that cost a synchronization).
+fn count_cross_node(
+    steps: &[Step],
+    first: usize,
+    preds: &[Vec<usize>],
+    outside: &[Vec<SubId>],
+) -> u64 {
+    let mut count = 0;
+    for (k, p) in preds.iter().enumerate() {
+        let consumer = steps[first + k].node;
+        for &pi in p {
+            if steps[first + pi].node != consumer {
+                count += 1;
+            }
+        }
+        for prod in &outside[k] {
+            if steps[prod.index()].node != consumer {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::PlanOptions;
+    use dmcp_ir::exec::run_sequential;
+    use dmcp_ir::ProgramBuilder;
+    use dmcp_mach::MachineConfig;
+    use dmcp_mem::page::PagePolicy;
+
+    fn setup(stmts: &[&str], iters: i64) -> (Program, MachineConfig, Layout) {
+        let mut b = ProgramBuilder::new();
+        for n in ["A", "B", "C", "D", "E", "X", "Y", "Z"] {
+            b.array(n, &[256], 8);
+        }
+        b.nest(&[("i", 0, iters)], stmts).unwrap();
+        let program = b.build();
+        let machine = MachineConfig::knl_like();
+        let layout = Layout::new(&machine, &program, PagePolicy::ColorPreserving);
+        (program, machine, layout)
+    }
+
+    fn assignment(machine: &MachineConfig, iters: usize) -> Vec<NodeId> {
+        crate::partitioner::chunked_assignment(machine.mesh, iters as u64)
+    }
+
+    fn plan(
+        stmts: &[&str],
+        iters: i64,
+        window: usize,
+        opts: PlanOptions,
+    ) -> (Program, NestPlan) {
+        let (program, machine, layout) = setup(stmts, iters);
+        let data = program.initial_data();
+        let plan = plan_nest(
+            &program,
+            0,
+            &layout,
+            &data,
+            HitPredictor::AlwaysHit,
+            opts,
+            window,
+            &assignment(&machine, iters as usize),
+            None,
+            false,
+        );
+        (program, plan)
+    }
+
+    #[test]
+    fn planned_schedule_is_numerically_correct() {
+        let (program, plan) = plan(
+            &[
+                "A[i] = B[i] + C[i] + D[i] + E[i]",
+                "X[i] = Y[i] + C[i]",
+                "B[i] = A[i] * 2 - X[i]",
+            ],
+            32,
+            4,
+            PlanOptions::default(),
+        );
+        plan.schedule.validate().unwrap();
+        let mut got = program.initial_data();
+        plan.schedule.execute_values(&mut got);
+        let mut want = program.initial_data();
+        run_sequential(&program, &mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn flow_dependences_generate_wait_arcs() {
+        let (_, plan) = plan(
+            &["A[i] = B[i] + C[i]", "X[i] = A[i] * 2"],
+            8,
+            2,
+            PlanOptions::default(),
+        );
+        let has_wait = plan
+            .schedule
+            .steps
+            .iter()
+            .any(|s| !s.waits.is_empty());
+        assert!(has_wait, "expected inter-statement wait arcs");
+    }
+
+    #[test]
+    fn stencil_chain_dependences_are_wired_across_iterations() {
+        let (program, plan) = plan(
+            &["A[i] = A[i-1] + B[i]"],
+            16,
+            2,
+            PlanOptions::default(),
+        );
+        // Values must match the sequential reference despite the recurrence.
+        let mut got = program.initial_data();
+        plan.schedule.execute_values(&mut got);
+        let mut want = program.initial_data();
+        run_sequential(&program, &mut want);
+        assert_eq!(got, want);
+        // And every non-first store step must wait on something (the
+        // previous writer of A[i-1] or its readers).
+        let waits: usize = plan.schedule.steps.iter().map(|s| s.waits.len()).sum();
+        assert!(waits > 0);
+    }
+
+    #[test]
+    fn window_reuse_improves_l1_hits_without_blowing_up_movement() {
+        // Window ≥ 2 lets the second statement reuse C[i] at the node that
+        // fetched it: planned L1 hits must not drop, and movement must stay
+        // within a small band (placements shift slightly with load/holder
+        // state, so strict monotonicity is not an invariant).
+        let stmts = ["A[i] = B[i] + C[i] + D[i] + E[i]", "X[i] = Y[i] + C[i]"];
+        let (_, w1) = plan(&stmts, 64, 1, PlanOptions::default());
+        let (_, w2) = plan(&stmts, 64, 2, PlanOptions::default());
+        assert!(
+            w2.stats.movement_opt as f64 <= w1.stats.movement_opt as f64 * 1.10,
+            "window 2 ({}) moved far more than window 1 ({})",
+            w2.stats.movement_opt,
+            w1.stats.movement_opt
+        );
+        // The shared C[i] must yield planned reuse hits under window 2.
+        assert!(w2.stats.planned_l1_hits > 0, "no planned L1 reuse at window 2");
+    }
+
+    #[test]
+    fn reuse_agnostic_planning_sees_no_l1_hits() {
+        let stmts = ["A[i] = B[i] + C[i] + D[i] + E[i]", "X[i] = Y[i] + C[i]"];
+        let opts = PlanOptions { reuse_aware: false, ..PlanOptions::default() };
+        let (_, p) = plan(&stmts, 32, 4, opts);
+        assert_eq!(p.stats.planned_l1_hits, 0);
+    }
+
+    #[test]
+    fn sync_reduction_never_increases_arcs() {
+        let (_, p) = plan(
+            &[
+                "A[i] = B[i] + C[i]",
+                "X[i] = A[i] + D[i]",
+                "Y[i] = A[i] + X[i]",
+                "Z[i] = Y[i] + A[i]",
+            ],
+            16,
+            4,
+            PlanOptions::default(),
+        );
+        assert!(p.stats.syncs_after <= p.stats.syncs_before);
+    }
+
+    #[test]
+    fn limit_truncates_planning() {
+        let (_, machine, layout) = setup(&["A[i] = B[i] + C[i]"], 64);
+        let program = {
+            let mut b = ProgramBuilder::new();
+            for n in ["A", "B", "C", "D", "E", "X", "Y", "Z"] {
+                b.array(n, &[256], 8);
+            }
+            b.nest(&[("i", 0, 64)], &["A[i] = B[i] + C[i]"]).unwrap();
+            b.build()
+        };
+        let data = program.initial_data();
+        let p = plan_nest(
+            &program,
+            0,
+            &layout,
+            &data,
+            HitPredictor::AlwaysHit,
+            PlanOptions::default(),
+            4,
+            &assignment(&machine, 64),
+            Some(10),
+            false,
+        );
+        assert_eq!(p.stats.instances, 10);
+    }
+
+    #[test]
+    fn baseline_generation_keeps_iteration_granularity() {
+        let (program, machine, layout) = setup(&["A[i] = B[i] + C[i] + D[i]"], 16);
+        let data = program.initial_data();
+        let asg = assignment(&machine, 16);
+        let p = plan_nest(
+            &program,
+            0,
+            &layout,
+            &data,
+            HitPredictor::AlwaysHit,
+            PlanOptions::default(),
+            1,
+            &asg,
+            None,
+            true,
+        );
+        // Every step of iteration `it` runs on the assigned core.
+        for s in &p.schedule.steps {
+            let it = s.tag.instance as usize;
+            assert_eq!(s.node, asg[it % asg.len()]);
+        }
+        assert_eq!(p.stats.movement_opt, p.stats.movement_default);
+    }
+
+    #[test]
+    fn stats_summaries_are_sane() {
+        let (_, p) = plan(
+            &["A[i] = B[i] + C[i] + D[i] + E[i] + X[i]"],
+            32,
+            1,
+            PlanOptions::default(),
+        );
+        let s = &p.stats;
+        assert!(s.avg_movement_reduction() >= 0.0);
+        assert!(s.max_movement_reduction() >= s.avg_movement_reduction());
+        assert!(s.avg_parallelism() >= 1.0);
+        assert!(f64::from(s.max_parallelism()) >= s.avg_parallelism());
+        assert!(s.syncs_per_statement() >= 0.0);
+        assert_eq!(s.instances, 32);
+    }
+}

@@ -1,0 +1,50 @@
+//! **dmcp** — Data-Movement-aware Computation Partitioning.
+//!
+//! A complete, self-contained reproduction of *"Data Movement Aware
+//! Computation Partitioning"* (Tang, Kislal, Kandemir, Karakoy — MICRO-50,
+//! 2017): a compiler that splits loop-nest statements into
+//! *subcomputations* and schedules them on the nodes of a mesh manycore so
+//! that data travels the minimum number of on-chip network links, together
+//! with everything needed to evaluate it — machine model, memory system,
+//! loop-nest IR, trace-driven simulator, the 12-application workload suite
+//! and the baseline placement schemes.
+//!
+//! # Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`mach`] | `dmcp-mach` | mesh topology, XY routing, cluster modes, machine config |
+//! | [`mem`] | `dmcp-mem` | address mapping, SNUCA, page colouring, caches, miss predictor |
+//! | [`ir`] | `dmcp-ir` | statement language, loop nests, dependences, inspector |
+//! | [`core`] | `dmcp-core` | **the paper's algorithm**: MST splitting, windows, scheduling |
+//! | [`sim`] | `dmcp-sim` | timing/energy simulation, ideal & S1–S4 scenarios |
+//! | [`workloads`] | `dmcp-workloads` | the 12 kernels (Splash-2 + Mantevo shapes) |
+//! | [`baselines`] | `dmcp-baselines` | profiled default placement, data-to-MC mapping |
+//!
+//! # Quick start
+//!
+//! ```
+//! use dmcp::core::{PartitionConfig, Partitioner};
+//! use dmcp::mach::MachineConfig;
+//! use dmcp::sim::{run_schedules, SimOptions};
+//! use dmcp::workloads::{by_name, Scale};
+//!
+//! let w = by_name("fft", Scale::Tiny).expect("known workload");
+//! let machine = MachineConfig::knl_like();
+//! let partitioner = Partitioner::new(&machine, &w.program, PartitionConfig::default());
+//!
+//! let optimized = partitioner.partition_with_data(&w.program, &w.data);
+//! let baseline = partitioner.baseline(&w.program, &w.data);
+//!
+//! let r_opt = run_schedules(&w.program, partitioner.layout(), &optimized, SimOptions::default());
+//! let r_base = run_schedules(&w.program, partitioner.layout(), &baseline, SimOptions::default());
+//! assert!(r_opt.movement <= r_base.movement);
+//! ```
+
+pub use dmcp_baselines as baselines;
+pub use dmcp_core as core;
+pub use dmcp_ir as ir;
+pub use dmcp_mach as mach;
+pub use dmcp_mem as mem;
+pub use dmcp_sim as sim;
+pub use dmcp_workloads as workloads;

@@ -1,0 +1,235 @@
+//! Array references: the operands the partitioner places near their data.
+
+use std::fmt;
+
+/// Identifier of a declared array within a [`crate::Program`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub(crate) u32);
+
+impl ArrayId {
+    /// Index into the program's array table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a raw table index. Intended for tooling that
+    /// enumerates a program's arrays.
+    pub fn from_index(index: usize) -> Self {
+        ArrayId(index as u32)
+    }
+}
+
+impl fmt::Debug for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arr#{}", self.0)
+    }
+}
+
+/// Identifier of a loop variable: its depth within the enclosing nest
+/// (0 = outermost).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Nesting depth of the variable.
+    pub fn depth(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a variable id from a nesting depth.
+    pub fn from_depth(depth: usize) -> Self {
+        VarId(depth as u32)
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "var#{}", self.0)
+    }
+}
+
+/// An affine function of the loop variables: `c0 + Σ coeff_d · var_d`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct AffineExpr {
+    /// Constant term.
+    pub c0: i64,
+    /// `(variable, coefficient)` pairs; at most one entry per variable.
+    pub terms: Vec<(VarId, i64)>,
+}
+
+impl AffineExpr {
+    /// The constant `c0`.
+    pub fn constant(c0: i64) -> Self {
+        Self { c0, terms: Vec::new() }
+    }
+
+    /// The bare variable `v`.
+    pub fn var(v: VarId) -> Self {
+        Self { c0: 0, terms: vec![(v, 1)] }
+    }
+
+    /// Adds `coeff · v` to the expression.
+    pub fn plus_term(mut self, v: VarId, coeff: i64) -> Self {
+        if coeff != 0 {
+            match self.terms.iter_mut().find(|(tv, _)| *tv == v) {
+                Some((_, c)) => *c += coeff,
+                None => self.terms.push((v, coeff)),
+            }
+            self.terms.retain(|&(_, c)| c != 0);
+        }
+        self
+    }
+
+    /// Evaluates at a concrete iteration vector.
+    pub fn eval(&self, iter: &[i64]) -> i64 {
+        self.c0
+            + self
+                .terms
+                .iter()
+                .map(|&(v, c)| c * iter.get(v.depth()).copied().unwrap_or(0))
+                .sum::<i64>()
+    }
+
+    /// `true` if the expression involves no loop variable.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// One subscript of an array reference.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IndexExpr {
+    /// An affine subscript (`i`, `i+1`, `2*i+j`): statically analyzable.
+    Affine(AffineExpr),
+    /// An indirect subscript (`Y[i]` in `X[Y[i]]`): the subscript is the
+    /// run-time value of another reference, so the target is a
+    /// may-dependence / unanalyzable location at compile time.
+    Indirect(Box<ArrayRef>),
+}
+
+impl IndexExpr {
+    /// `true` for affine subscripts.
+    pub fn is_affine(&self) -> bool {
+        matches!(self, IndexExpr::Affine(_))
+    }
+}
+
+/// A reference to an array element, e.g. `B[i+1]` or `X[Y[i]]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayRef {
+    /// The referenced array.
+    pub array: ArrayId,
+    /// One subscript per array dimension.
+    pub indices: Vec<IndexExpr>,
+    /// Whether the compiler's static analysis can pin down this reference's
+    /// location. Indirect subscripts force `false`; workload generators may
+    /// also clear it on affine references to model aliasing/analysis limits
+    /// (paper Table 1).
+    pub analyzable: bool,
+}
+
+impl ArrayRef {
+    /// Creates an affine, analyzable reference.
+    pub fn affine(array: ArrayId, indices: Vec<AffineExpr>) -> Self {
+        Self {
+            array,
+            indices: indices.into_iter().map(IndexExpr::Affine).collect(),
+            analyzable: true,
+        }
+    }
+
+    /// Creates a reference with arbitrary subscripts; analyzability follows
+    /// from the subscripts (any indirect subscript ⇒ not analyzable).
+    pub fn new(array: ArrayId, indices: Vec<IndexExpr>) -> Self {
+        let analyzable = indices.iter().all(IndexExpr::is_affine);
+        Self { array, indices, analyzable }
+    }
+
+    /// `true` if every subscript is affine.
+    pub fn is_affine(&self) -> bool {
+        self.indices.iter().all(IndexExpr::is_affine)
+    }
+
+    /// Marks the reference as unanalyzable (used by workload generators to
+    /// model references the paper's compiler could not disambiguate).
+    pub fn mark_unanalyzable(&mut self) {
+        self.analyzable = false;
+    }
+
+    /// All references contained in this one, including itself and any
+    /// references nested in indirect subscripts.
+    pub fn all_refs(&self) -> Vec<&ArrayRef> {
+        let mut out = vec![self];
+        for idx in &self.indices {
+            if let IndexExpr::Indirect(inner) = idx {
+                out.extend(inner.all_refs());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(d: usize) -> VarId {
+        VarId::from_depth(d)
+    }
+
+    #[test]
+    fn affine_eval() {
+        // 3 + 2*i - j at (i,j) = (5, 4) -> 9
+        let e = AffineExpr::constant(3).plus_term(v(0), 2).plus_term(v(1), -1);
+        assert_eq!(e.eval(&[5, 4]), 9);
+    }
+
+    #[test]
+    fn plus_term_merges_and_cancels() {
+        let e = AffineExpr::var(v(0)).plus_term(v(0), -1);
+        assert!(e.is_constant());
+        assert_eq!(e.eval(&[100]), 0);
+    }
+
+    #[test]
+    fn missing_vars_evaluate_as_zero() {
+        let e = AffineExpr::var(v(3));
+        assert_eq!(e.eval(&[1, 2]), 0);
+    }
+
+    #[test]
+    fn affine_ref_is_analyzable() {
+        let r = ArrayRef::affine(ArrayId(0), vec![AffineExpr::var(v(0))]);
+        assert!(r.is_affine());
+        assert!(r.analyzable);
+    }
+
+    #[test]
+    fn indirect_ref_is_not_analyzable() {
+        let inner = ArrayRef::affine(ArrayId(1), vec![AffineExpr::var(v(0))]);
+        let r = ArrayRef::new(
+            ArrayId(0),
+            vec![IndexExpr::Indirect(Box::new(inner))],
+        );
+        assert!(!r.is_affine());
+        assert!(!r.analyzable);
+    }
+
+    #[test]
+    fn all_refs_includes_nested() {
+        let inner = ArrayRef::affine(ArrayId(1), vec![AffineExpr::var(v(0))]);
+        let r = ArrayRef::new(ArrayId(0), vec![IndexExpr::Indirect(Box::new(inner))]);
+        let refs = r.all_refs();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].array, ArrayId(0));
+        assert_eq!(refs[1].array, ArrayId(1));
+    }
+
+    #[test]
+    fn mark_unanalyzable() {
+        let mut r = ArrayRef::affine(ArrayId(0), vec![AffineExpr::constant(0)]);
+        r.mark_unanalyzable();
+        assert!(!r.analyzable);
+        assert!(r.is_affine());
+    }
+}

@@ -1,0 +1,288 @@
+//! Instance-level data-dependence analysis (paper Section 4.5).
+//!
+//! The scheduler needs flow/anti/output dependences between the statement
+//! instances of a window to know where synchronisation is mandatory, and it
+//! needs *may*-dependences for indirect references whose targets are unknown
+//! at compile time. With inspector-collected data (see [`crate::inspector`])
+//! the may-dependences collapse into exact ones.
+
+use crate::access::{ArrayId, ArrayRef};
+use crate::program::{DataStore, IterVec, Program, Statement};
+use std::fmt;
+
+/// The kind of a dependence between two statement instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read-after-write on the same element.
+    Flow,
+    /// Write-after-read on the same element.
+    Anti,
+    /// Write-after-write on the same element.
+    Output,
+    /// A conservative dependence via an unresolved indirect reference.
+    May,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::Flow => "flow",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+            DepKind::May => "may",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dependence from instance `from` to instance `to` (indices into the
+/// instance slice given to [`analyze`]; `from < to` always).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Dependence {
+    /// The earlier instance.
+    pub from: usize,
+    /// The later instance.
+    pub to: usize,
+    /// What kind of dependence.
+    pub kind: DepKind,
+}
+
+/// The memory footprint of one reference instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Footprint {
+    /// A precisely known element.
+    Exact(ArrayId, u64),
+    /// Somewhere in this array (unresolved indirection).
+    Unknown(ArrayId),
+}
+
+impl Footprint {
+    fn of(program: &Program, r: &ArrayRef, iter: &[i64], data: Option<&DataStore>) -> Footprint {
+        if r.is_affine() {
+            Footprint::Exact(r.array, program.element_of_affine(r, iter))
+        } else {
+            match data {
+                Some(d) => Footprint::Exact(r.array, program.element_of(r, iter, d)),
+                None => Footprint::Unknown(r.array),
+            }
+        }
+    }
+
+    /// Whether two footprints may touch the same element, and if so whether
+    /// it is certain.
+    fn overlaps(self, other: Footprint) -> Option<bool> {
+        match (self, other) {
+            (Footprint::Exact(a, x), Footprint::Exact(b, y)) => {
+                if a == b && x == y {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            (Footprint::Unknown(a), Footprint::Exact(b, _))
+            | (Footprint::Exact(a, _), Footprint::Unknown(b))
+            | (Footprint::Unknown(a), Footprint::Unknown(b)) => {
+                if a == b {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// One statement instance: a statement plus the iteration executing it.
+pub type Instance<'a> = (&'a Statement, IterVec);
+
+/// Computes all pairwise dependences among `instances` (in execution order).
+///
+/// With `data = Some(..)` (the executor phase, after inspection) indirect
+/// subscripts are resolved to exact elements; with `data = None` they
+/// produce conservative [`DepKind::May`] dependences against every instance
+/// touching the same array.
+///
+/// # Examples
+///
+/// ```
+/// use dmcp_ir::program::ProgramBuilder;
+/// use dmcp_ir::deps::{analyze, DepKind};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.array("A", &[8], 8);
+/// b.array("B", &[8], 8);
+/// b.nest(&[("i", 0, 8)], &["A[i] = B[i] + 1", "B[i] = A[i] * 2"]).unwrap();
+/// let p = b.build();
+/// let body = &p.nests()[0].body;
+/// let instances = vec![(&body[0], vec![0]), (&body[1], vec![0])];
+/// let deps = analyze(&p, &instances, None);
+/// assert!(deps.iter().any(|d| d.kind == DepKind::Flow)); // A[0]
+/// assert!(deps.iter().any(|d| d.kind == DepKind::Anti)); // B[0]
+/// ```
+pub fn analyze(
+    program: &Program,
+    instances: &[Instance<'_>],
+    data: Option<&DataStore>,
+) -> Vec<Dependence> {
+    // Precompute footprints.
+    let foots: Vec<(Footprint, Vec<Footprint>)> = instances
+        .iter()
+        .map(|(stmt, iter)| {
+            let w = Footprint::of(program, &stmt.lhs, iter, data);
+            let rs = stmt
+                .reads()
+                .iter()
+                .map(|r| Footprint::of(program, r, iter, data))
+                .collect();
+            (w, rs)
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for j in 1..instances.len() {
+        for i in 0..j {
+            let (wi, ri) = &foots[i];
+            let (wj, rj) = &foots[j];
+            let mut push = |kind| out.push(Dependence { from: i, to: j, kind });
+            // Flow: i writes, j reads.
+            if let Some(kind) = strongest(rj.iter().map(|r| wi.overlaps(*r))) {
+                push(if kind { DepKind::Flow } else { DepKind::May });
+            }
+            // Anti: i reads, j writes.
+            if let Some(kind) = strongest(ri.iter().map(|r| r.overlaps(*wj))) {
+                push(if kind { DepKind::Anti } else { DepKind::May });
+            }
+            // Output: both write.
+            if let Some(kind) = wi.overlaps(*wj) {
+                push(if kind { DepKind::Output } else { DepKind::May });
+            }
+        }
+    }
+    out
+}
+
+/// Folds a sequence of overlap results: certain overlap dominates possible
+/// overlap dominates no overlap.
+fn strongest(overlaps: impl Iterator<Item = Option<bool>>) -> Option<bool> {
+    let mut best: Option<bool> = None;
+    for o in overlaps.flatten() {
+        if o {
+            return Some(true);
+        }
+        best = Some(false);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn program(stmts: &[&str]) -> Program {
+        let mut b = ProgramBuilder::new();
+        for n in ["A", "B", "C", "X", "Y", "Z"] {
+            b.array(n, &[16], 8);
+        }
+        b.nest(&[("i", 0, 16)], stmts).unwrap();
+        b.build()
+    }
+
+    fn deps_of(p: &Program, iters: &[i64], data: Option<&DataStore>) -> Vec<Dependence> {
+        let body = &p.nests()[0].body;
+        let instances: Vec<_> = iters
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| (&body[k % body.len()], vec![i]))
+            .collect();
+        analyze(p, &instances, data)
+    }
+
+    #[test]
+    fn flow_dependence_detected() {
+        let p = program(&["A[i] = B[i] + 1", "C[i] = A[i] * 2"]);
+        let deps = deps_of(&p, &[0, 0], None);
+        assert_eq!(deps, vec![Dependence { from: 0, to: 1, kind: DepKind::Flow }]);
+    }
+
+    #[test]
+    fn anti_dependence_detected() {
+        let p = program(&["C[i] = A[i] + 1", "A[i] = B[i] * 2"]);
+        let deps = deps_of(&p, &[0, 0], None);
+        assert_eq!(deps, vec![Dependence { from: 0, to: 1, kind: DepKind::Anti }]);
+    }
+
+    #[test]
+    fn output_dependence_detected() {
+        let p = program(&["A[i] = B[i]", "A[i] = C[i]"]);
+        let deps = deps_of(&p, &[0, 0], None);
+        assert_eq!(deps, vec![Dependence { from: 0, to: 1, kind: DepKind::Output }]);
+    }
+
+    #[test]
+    fn shifted_subscripts_do_not_alias() {
+        let p = program(&["A[i] = B[i]", "C[i] = A[i+1]"]);
+        // Same iteration: A[0] vs A[1] -> no dep.
+        assert!(deps_of(&p, &[0, 0], None).is_empty());
+        // Instances from different iterations: A[1] written, A[1] read.
+        let body = &p.nests()[0].body;
+        let instances = vec![(&body[0], vec![1]), (&body[1], vec![0])];
+        let deps = analyze(&p, &instances, None);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].kind, DepKind::Flow);
+    }
+
+    #[test]
+    fn indirect_write_is_may_dep_without_data() {
+        let mut b = ProgramBuilder::new();
+        b.array("X", &[16], 8);
+        b.array("Y", &[16], 8);
+        b.array("Z", &[16], 8);
+        b.nest(&[("i", 0, 16)], &["X[Y[i]] = Z[i]", "Z[i] = X[i] + 1"]).unwrap();
+        let p = b.build();
+        let body = &p.nests()[0].body;
+        let instances = vec![(&body[0], vec![0]), (&body[1], vec![0])];
+        let deps = analyze(&p, &instances, None);
+        assert!(deps.iter().any(|d| d.kind == DepKind::May));
+    }
+
+    #[test]
+    fn inspector_data_resolves_may_deps() {
+        let mut b = ProgramBuilder::new();
+        let x = b.array("X", &[16], 8);
+        let y = b.array("Y", &[16], 8);
+        b.array("Z", &[16], 8);
+        b.array("W", &[16], 8);
+        b.nest(&[("i", 0, 16)], &["X[Y[i]] = Z[i]", "W[i] = X[i] + 1"]).unwrap();
+        let p = b.build();
+        let mut data = p.initial_data();
+        // Y[0] = 5 so the indirect write goes to X[5], not X[0]: no dep.
+        data.fill(y, &[5.0; 16]);
+        let body = &p.nests()[0].body;
+        let instances = vec![(&body[0], vec![0]), (&body[1], vec![0])];
+        let deps = analyze(&p, &instances, Some(&data));
+        assert!(deps.is_empty(), "got {deps:?}");
+        // Y[0] = 0: the write hits X[0], which instance 1 reads: flow dep.
+        data.fill(y, &[0.0; 16]);
+        let deps = analyze(&p, &instances, Some(&data));
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].kind, DepKind::Flow);
+        let _ = x;
+    }
+
+    #[test]
+    fn multiple_kinds_between_same_pair() {
+        let p = program(&["A[i] = A[i] + B[i]", "A[i] = A[i] * 2"]);
+        let deps = deps_of(&p, &[0, 0], None);
+        let kinds: std::collections::HashSet<_> = deps.iter().map(|d| d.kind).collect();
+        assert!(kinds.contains(&DepKind::Flow));
+        assert!(kinds.contains(&DepKind::Anti));
+        assert!(kinds.contains(&DepKind::Output));
+    }
+
+    #[test]
+    fn independent_statements_have_no_deps() {
+        let p = program(&["A[i] = B[i]", "C[i] = X[i]"]);
+        assert!(deps_of(&p, &[0, 0], None).is_empty());
+    }
+}

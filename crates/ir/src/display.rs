@@ -1,0 +1,193 @@
+//! Pretty-printing of programs back to the statement language.
+//!
+//! The printer emits exactly the surface syntax [`crate::parser`] accepts,
+//! so `parse(print(x)) == x` — property-tested in `tests/properties.rs` and
+//! handy when debugging generated workloads or transformed nests.
+
+use crate::access::{AffineExpr, ArrayRef, IndexExpr};
+use crate::expr::Expr;
+use crate::program::{LoopNest, Program, Statement};
+use std::fmt::Write;
+
+/// Renders an affine subscript (`2*i+j-1`).
+pub fn affine_to_string(a: &AffineExpr, vars: &[String]) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for &(v, c) in &a.terms {
+        let name = vars
+            .get(v.depth())
+            .cloned()
+            .unwrap_or_else(|| format!("v{}", v.depth()));
+        if c < 0 {
+            let _ = write!(out, "-");
+        } else if !first {
+            let _ = write!(out, "+");
+        }
+        let mag = c.abs();
+        if mag == 1 {
+            let _ = write!(out, "{name}");
+        } else {
+            let _ = write!(out, "{mag}*{name}");
+        }
+        first = false;
+    }
+    if a.c0 != 0 || first {
+        if a.c0 < 0 {
+            let _ = write!(out, "-{}", a.c0.abs());
+        } else if first {
+            let _ = write!(out, "{}", a.c0);
+        } else {
+            let _ = write!(out, "+{}", a.c0);
+        }
+    }
+    out
+}
+
+/// Renders an array reference (`A[i+1][j]`, `X[Y[i]]`).
+pub fn ref_to_string(r: &ArrayRef, program: &Program, vars: &[String]) -> String {
+    let mut out = program.array(r.array).name.clone();
+    for idx in &r.indices {
+        match idx {
+            IndexExpr::Affine(a) => {
+                let _ = write!(out, "[{}]", affine_to_string(a, vars));
+            }
+            IndexExpr::Indirect(inner) => {
+                let _ = write!(out, "[{}]", ref_to_string(inner, program, vars));
+            }
+        }
+    }
+    out
+}
+
+/// Renders an expression with minimal parentheses (children are wrapped
+/// when their operator binds less tightly than the parent's, or equally on
+/// the right of a non-commutative operator).
+pub fn expr_to_string(e: &Expr, program: &Program, vars: &[String]) -> String {
+    match e {
+        Expr::Const(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{}", *v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Ref(r) => ref_to_string(r, program, vars),
+        Expr::Bin { op, lhs, rhs } => {
+            let prec = op.precedence();
+            let left = expr_to_string(lhs, program, vars);
+            let right = expr_to_string(rhs, program, vars);
+            let wrap_left = matches!(&**lhs, Expr::Bin { op: lop, .. } if lop.precedence() < prec);
+            let wrap_right = match &**rhs {
+                Expr::Bin { op: rop, .. } => rop.precedence() <= prec,
+                _ => false,
+            };
+            let l = if wrap_left { format!("({left})") } else { left };
+            let r = if wrap_right { format!("({right})") } else { right };
+            format!("{l} {op} {r}")
+        }
+    }
+}
+
+/// Renders one statement (`A[i] = B[i] + 1`).
+pub fn statement_to_string(s: &Statement, program: &Program, vars: &[String]) -> String {
+    format!(
+        "{} = {}",
+        ref_to_string(&s.lhs, program, vars),
+        expr_to_string(&s.rhs, program, vars)
+    )
+}
+
+/// Renders a whole nest as pseudo-C.
+pub fn nest_to_string(nest: &LoopNest, program: &Program) -> String {
+    let vars: Vec<String> = nest.dims.iter().map(|d| d.name.clone()).collect();
+    let mut out = String::new();
+    for (depth, d) in nest.dims.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{}for ({name} = {lo}; {name} < {hi}; {name}++)",
+            "  ".repeat(depth),
+            name = d.name,
+            lo = d.lo,
+            hi = d.hi
+        );
+    }
+    let indent = "  ".repeat(nest.dims.len());
+    for s in &nest.body {
+        let _ = writeln!(out, "{indent}{};", statement_to_string(s, program, &vars));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_statement, ParseCtx};
+    use crate::program::ProgramBuilder;
+    use crate::ArrayId;
+
+    fn program(stmts: &[&str]) -> Program {
+        let mut b = ProgramBuilder::new();
+        for n in ["A", "B", "C", "Y"] {
+            b.array(n, &[32, 32], 8);
+        }
+        b.nest(&[("i", 0, 8), ("j", 0, 8)], stmts).unwrap();
+        b.build()
+    }
+
+    fn roundtrip(src: &str) {
+        let p = program(&[src]);
+        let nest = &p.nests()[0];
+        let vars = vec!["i".to_string(), "j".to_string()];
+        let printed = statement_to_string(&nest.body[0], &p, &vars);
+        let mut ctx = ParseCtx::new();
+        for (k, a) in p.arrays().iter().enumerate() {
+            ctx.add_array(a.name.clone(), ArrayId::from_index(k));
+        }
+        ctx.add_var("i", crate::access::VarId::from_depth(0));
+        ctx.add_var("j", crate::access::VarId::from_depth(1));
+        let reparsed = parse_statement(&printed, &ctx).unwrap_or_else(|e| {
+            panic!("printed form `{printed}` does not reparse: {e}")
+        });
+        assert_eq!(reparsed.lhs, nest.body[0].lhs, "lhs changed for `{printed}`");
+        assert_eq!(reparsed.rhs, nest.body[0].rhs, "rhs changed for `{printed}`");
+    }
+
+    #[test]
+    fn simple_statements_roundtrip() {
+        roundtrip("A[i][j] = B[i][j] + C[j][i]");
+        roundtrip("A[i][j] = B[i][j] * C[i][j] + 3");
+        roundtrip("A[2*i+1][j] = B[i-1][j+2]");
+    }
+
+    #[test]
+    fn precedence_parentheses_roundtrip() {
+        roundtrip("A[i][j] = (B[i][j] + C[i][j]) * B[j][i]");
+        roundtrip("A[i][j] = B[i][j] - (C[i][j] - 1)");
+        roundtrip("A[i][j] = B[i][j] / (C[i][j] + 1) - B[j][j]");
+        roundtrip("A[i][j] = (B[i][j] >> 2) & 15");
+    }
+
+    #[test]
+    fn indirect_roundtrip() {
+        roundtrip("A[Y[i][j]][j] = B[i][j]");
+    }
+
+    #[test]
+    fn nest_printing_shows_loops() {
+        let p = program(&["A[i][j] = B[i][j] + 1"]);
+        let s = nest_to_string(&p.nests()[0], &p);
+        assert!(s.contains("for (i = 0; i < 8; i++)"));
+        assert!(s.contains("for (j = 0; j < 8; j++)"));
+        assert!(s.contains("A[i][j] = B[i][j] + 1;"));
+    }
+
+    #[test]
+    fn affine_rendering_edge_cases() {
+        use crate::access::VarId;
+        let vars = vec!["i".to_string()];
+        let a = AffineExpr::constant(0);
+        assert_eq!(affine_to_string(&a, &vars), "0");
+        let a = AffineExpr::var(VarId::from_depth(0)).plus_term(VarId::from_depth(0), -2);
+        assert_eq!(affine_to_string(&a, &vars), "-i");
+    }
+}

@@ -1,0 +1,114 @@
+//! The expression AST of statement right-hand sides.
+
+use crate::access::ArrayRef;
+use crate::op::BinOp;
+
+/// An expression tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A numeric literal.
+    Const(f64),
+    /// An array-element read.
+    Ref(ArrayRef),
+    /// A binary operation.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a binary node.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// All array references read by the expression, in left-to-right source
+    /// order (including references inside indirect subscripts).
+    pub fn reads(&self) -> Vec<&ArrayRef> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads<'a>(&'a self, out: &mut Vec<&'a ArrayRef>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Ref(r) => out.extend(r.all_refs()),
+            Expr::Bin { lhs, rhs, .. } => {
+                lhs.collect_reads(out);
+                rhs.collect_reads(out);
+            }
+        }
+    }
+
+    /// Number of binary operations in the expression.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Ref(_) => 0,
+            Expr::Bin { lhs, rhs, .. } => 1 + lhs.op_count() + rhs.op_count(),
+        }
+    }
+
+    /// All operators in the expression, in tree order.
+    pub fn ops(&self) -> Vec<BinOp> {
+        let mut out = Vec::new();
+        self.collect_ops(&mut out);
+        out
+    }
+
+    fn collect_ops(&self, out: &mut Vec<BinOp>) {
+        if let Expr::Bin { op, lhs, rhs } = self {
+            out.push(*op);
+            lhs.collect_ops(out);
+            rhs.collect_ops(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AffineExpr, ArrayId, ArrayRef, IndexExpr, VarId};
+
+    fn r(id: u32) -> Expr {
+        Expr::Ref(ArrayRef::affine(
+            ArrayId::from_index(id as usize),
+            vec![AffineExpr::var(VarId::from_depth(0))],
+        ))
+    }
+
+    #[test]
+    fn reads_in_source_order() {
+        let e = Expr::bin(BinOp::Add, r(0), Expr::bin(BinOp::Mul, r(1), r(2)));
+        let arrays: Vec<_> = e.reads().iter().map(|a| a.array.index()).collect();
+        assert_eq!(arrays, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reads_see_through_indirection() {
+        let inner = ArrayRef::affine(
+            ArrayId::from_index(5),
+            vec![AffineExpr::var(VarId::from_depth(0))],
+        );
+        let outer = ArrayRef::new(
+            ArrayId::from_index(4),
+            vec![IndexExpr::Indirect(Box::new(inner))],
+        );
+        let e = Expr::Ref(outer);
+        let arrays: Vec<_> = e.reads().iter().map(|a| a.array.index()).collect();
+        assert_eq!(arrays, vec![4, 5]);
+    }
+
+    #[test]
+    fn op_counts() {
+        let e = Expr::bin(BinOp::Add, r(0), Expr::bin(BinOp::Mul, r(1), r(2)));
+        assert_eq!(e.op_count(), 2);
+        assert_eq!(e.ops(), vec![BinOp::Add, BinOp::Mul]);
+        assert_eq!(Expr::Const(1.0).op_count(), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Tokenizer for the statement language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// An identifier (array or loop-variable name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Assign => f.write_str("="),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Star => f.write_str("*"),
+            Token::Slash => f.write_str("/"),
+            Token::Amp => f.write_str("&"),
+            Token::Pipe => f.write_str("|"),
+            Token::Caret => f.write_str("^"),
+            Token::Shl => f.write_str("<<"),
+            Token::Shr => f.write_str(">>"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::LBracket => f.write_str("["),
+            Token::RBracket => f.write_str("]"),
+        }
+    }
+}
+
+/// An error produced while tokenizing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub position: usize,
+    /// The offending character.
+    pub found: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` at byte {}", self.found, self.position)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src` into a vector of tokens.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on any character outside the statement language.
+///
+/// # Examples
+///
+/// ```
+/// use dmcp_ir::lexer::{tokenize, Token};
+///
+/// let toks = tokenize("A[i] = 2")?;
+/// assert_eq!(toks.len(), 6);
+/// assert_eq!(toks[0], Token::Ident("A".into()));
+/// # Ok::<(), dmcp_ir::lexer::LexError>(())
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' | ';' => i += 1,
+            '=' => {
+                out.push(Token::Assign);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '&' => {
+                out.push(Token::Amp);
+                i += 1;
+            }
+            '|' => {
+                out.push(Token::Pipe);
+                i += 1;
+            }
+            '^' => {
+                out.push(Token::Caret);
+                i += 1;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'<') => {
+                out.push(Token::Shl);
+                i += 2;
+            }
+            '>' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push(Token::Shr);
+                i += 2;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit);
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    out.push(Token::Float(text.parse().expect("valid float literal")));
+                } else {
+                    let text = &src[start..i];
+                    out.push(Token::Int(text.parse().expect("valid int literal")));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(src[start..i].to_string()));
+            }
+            other => return Err(LexError { position: i, found: other }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_statement() {
+        let toks = tokenize("A[i] = B[i+1] * 2.5").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("A".into()),
+                Token::LBracket,
+                Token::Ident("i".into()),
+                Token::RBracket,
+                Token::Assign,
+                Token::Ident("B".into()),
+                Token::LBracket,
+                Token::Ident("i".into()),
+                Token::Plus,
+                Token::Int(1),
+                Token::RBracket,
+                Token::Star,
+                Token::Float(2.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_shifts() {
+        let toks = tokenize("a << 2 >> b").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Shl,
+                Token::Int(2),
+                Token::Shr,
+                Token::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_whitespace_and_semicolons() {
+        let toks = tokenize("  a ;\n\t b ").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert_eq!(err.found, '@');
+        assert_eq!(err.position, 2);
+        assert!(err.to_string().contains('@'));
+    }
+
+    #[test]
+    fn integer_then_dot_without_digit_is_error() {
+        // "1." is not a float in this language; the dot is rejected.
+        let err = tokenize("1.").unwrap_err();
+        assert_eq!(err.found, '.');
+    }
+
+    #[test]
+    fn underscore_identifiers() {
+        let toks = tokenize("my_arr_2").unwrap();
+        assert_eq!(toks, vec![Token::Ident("my_arr_2".into())]);
+    }
+}

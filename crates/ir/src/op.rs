@@ -1,0 +1,199 @@
+//! Binary operators, their algebraic classes and cost model.
+
+use std::fmt;
+
+/// A binary operator appearing in statement expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Coarse operation category used by the paper's Table 3 ("the fraction of
+/// computation types offloaded").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpCategory {
+    /// Additions and subtractions.
+    AddSub,
+    /// Multiplications and divisions.
+    MulDiv,
+    /// Shifts, logical operations, etc.
+    Other,
+}
+
+impl fmt::Display for OpCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpCategory::AddSub => "add/sub",
+            OpCategory::MulDiv => "mul/div",
+            OpCategory::Other => "others",
+        };
+        f.write_str(s)
+    }
+}
+
+impl BinOp {
+    /// Parser precedence: higher binds tighter.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::Xor => 2,
+            BinOp::And => 3,
+            BinOp::Shl | BinOp::Shr => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div => 6,
+        }
+    }
+
+    /// `true` if a chain of this operator (together with its inverse twin)
+    /// may be reordered freely once inverses are tracked as flags:
+    /// `a - b + c` ≡ `a + c - b`, `a / b * c` ≡ `a * c / b`.
+    pub fn is_reorderable(self) -> bool {
+        !matches!(self, BinOp::Shl | BinOp::Shr)
+    }
+
+    /// `true` if the operator is the *inverting* member of its class
+    /// (subtraction in the additive class, division in the multiplicative
+    /// class).
+    pub fn is_inverse(self) -> bool {
+        matches!(self, BinOp::Sub | BinOp::Div)
+    }
+
+    /// Cost in abstract "operation units" used for load balancing; the paper
+    /// charges division 10× an addition/multiplication (Section 4.5,
+    /// footnote 5). `div_factor` comes from the machine's latency model.
+    pub fn cost(self, div_factor: f64) -> f64 {
+        match self {
+            BinOp::Div => div_factor,
+            _ => 1.0,
+        }
+    }
+
+    /// Table-3 category of the operator.
+    pub fn category(self) -> OpCategory {
+        match self {
+            BinOp::Add | BinOp::Sub => OpCategory::AddSub,
+            BinOp::Mul | BinOp::Div => OpCategory::MulDiv,
+            _ => OpCategory::Other,
+        }
+    }
+
+    /// Applies the operator to two values. Logical/shift operators work on
+    /// the values reinterpreted as 64-bit integers (the workloads only use
+    /// them on integer-valued data).
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::And => ((a as i64) & (b as i64)) as f64,
+            BinOp::Or => ((a as i64) | (b as i64)) as f64,
+            BinOp::Xor => ((a as i64) ^ (b as i64)) as f64,
+            BinOp::Shl => ((a as i64) << ((b as i64) & 63)) as f64,
+            BinOp::Shr => ((a as i64) >> ((b as i64) & 63)) as f64,
+        }
+    }
+
+    /// Source-text spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_orders_mul_above_add() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Shl.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+    }
+
+    #[test]
+    fn inverse_members() {
+        assert!(BinOp::Sub.is_inverse());
+        assert!(BinOp::Div.is_inverse());
+        assert!(!BinOp::Add.is_inverse());
+        assert!(!BinOp::Mul.is_inverse());
+    }
+
+    #[test]
+    fn shifts_are_not_reorderable() {
+        assert!(!BinOp::Shl.is_reorderable());
+        assert!(!BinOp::Shr.is_reorderable());
+        assert!(BinOp::Xor.is_reorderable());
+    }
+
+    #[test]
+    fn division_costs_ten_adds() {
+        assert_eq!(BinOp::Div.cost(10.0), 10.0);
+        assert_eq!(BinOp::Add.cost(10.0), 1.0);
+        assert_eq!(BinOp::Mul.cost(10.0), 1.0);
+    }
+
+    #[test]
+    fn categories_match_table_3() {
+        assert_eq!(BinOp::Add.category(), OpCategory::AddSub);
+        assert_eq!(BinOp::Div.category(), OpCategory::MulDiv);
+        assert_eq!(BinOp::Shl.category(), OpCategory::Other);
+        assert_eq!(BinOp::Xor.category(), OpCategory::Other);
+    }
+
+    #[test]
+    fn apply_arithmetic() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOp::Div.apply(3.0, 2.0), 1.5);
+    }
+
+    #[test]
+    fn apply_integerish() {
+        assert_eq!(BinOp::And.apply(6.0, 3.0), 2.0);
+        assert_eq!(BinOp::Or.apply(4.0, 1.0), 5.0);
+        assert_eq!(BinOp::Xor.apply(5.0, 3.0), 6.0);
+        assert_eq!(BinOp::Shl.apply(1.0, 3.0), 8.0);
+        assert_eq!(BinOp::Shr.apply(8.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn symbols_are_parseable_spellings() {
+        assert_eq!(BinOp::Shl.to_string(), "<<");
+        assert_eq!(BinOp::Div.to_string(), "/");
+    }
+}

@@ -1,0 +1,163 @@
+//! Loop transformations used by the window mechanism.
+//!
+//! The paper's Figure 12 unrolls the loop body by one iteration "to have
+//! enough statements filling the window", and its footnote 3 notes that in
+//! the extreme the nest can be fully unrolled into one gigantic window.
+//! [`unroll`] implements that transformation: the innermost loop is
+//! advanced by `factor` per iteration and the body is replicated with the
+//! innermost subscripts shifted.
+
+use crate::access::{ArrayRef, IndexExpr, VarId};
+use crate::expr::Expr;
+use crate::program::{LoopNest, Statement};
+
+/// Unrolls the innermost loop of `nest` by `factor`, returning a new nest.
+///
+/// The innermost dimension's extent must be divisible by `factor` (the
+/// synthetic workloads guarantee it; remainder loops are out of scope).
+/// Copy `k` of the body has every innermost-variable subscript shifted by
+/// `+k`.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero or the innermost trip count is not divisible
+/// by it.
+///
+/// # Examples
+///
+/// ```
+/// use dmcp_ir::ProgramBuilder;
+/// use dmcp_ir::transform::unroll;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.array("A", &[64], 8);
+/// b.array("B", &[64], 8);
+/// b.nest(&[("i", 0, 64)], &["A[i] = B[i] + 1"]).unwrap();
+/// let p = b.build();
+/// let u = unroll(&p.nests()[0], 4);
+/// assert_eq!(u.body.len(), 4);
+/// assert_eq!(u.iteration_count(), 16);
+/// ```
+pub fn unroll(nest: &LoopNest, factor: u32) -> LoopNest {
+    assert!(factor > 0, "unroll factor must be nonzero");
+    let depth = nest.dims.len() - 1;
+    let inner = &nest.dims[depth];
+    let trip = inner.trip_count();
+    assert!(
+        trip.is_multiple_of(u64::from(factor)),
+        "trip count {trip} not divisible by unroll factor {factor}"
+    );
+    let var = VarId::from_depth(depth);
+
+    let mut dims = nest.dims.clone();
+    // i now advances by `factor`: model as i' in lo..lo+trip/factor with
+    // subscripts using factor*i' + k.
+    dims[depth].hi = inner.lo + (trip / u64::from(factor)) as i64;
+
+    let mut body = Vec::with_capacity(nest.body.len() * factor as usize);
+    for k in 0..i64::from(factor) {
+        for stmt in &nest.body {
+            let mut s = stmt.clone();
+            rescale_statement(&mut s, var, i64::from(factor), k + inner.lo * (i64::from(factor) - 1));
+            body.push(s);
+        }
+    }
+    // Note: for lo != 0 the rescaling below keeps `factor*i + k + lo*(factor-1)`
+    // aligned so that i' = lo maps to original i = lo.
+    LoopNest { dims, body }
+}
+
+/// Replaces every occurrence of `var` with `scale*var + shift` in the
+/// statement's subscripts.
+fn rescale_statement(stmt: &mut Statement, var: VarId, scale: i64, shift: i64) {
+    stmt.for_each_ref_mut(&mut |r: &mut ArrayRef| {
+        for idx in &mut r.indices {
+            if let IndexExpr::Affine(a) = idx {
+                if let Some(pos) = a.terms.iter().position(|&(v, _)| v == var) {
+                    let coeff = a.terms[pos].1;
+                    a.terms[pos].1 = coeff * scale;
+                    a.c0 += coeff * shift;
+                }
+            }
+        }
+    });
+    rescale_expr(&mut stmt.rhs, var, scale, shift);
+}
+
+fn rescale_expr(e: &mut Expr, var: VarId, scale: i64, shift: i64) {
+    match e {
+        Expr::Const(_) => {}
+        Expr::Ref(r) => {
+            // Refs inside the rhs were already visited by for_each_ref_mut
+            // on the statement — nothing further here; kept for clarity.
+            let _ = (r, var, scale, shift);
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            rescale_expr(lhs, var, scale, shift);
+            rescale_expr(rhs, var, scale, shift);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_sequential;
+    use crate::program::{Program, ProgramBuilder};
+
+    fn program(stmts: &[&str], n: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        for name in ["A", "B", "C"] {
+            b.array(name, &[64], 8);
+        }
+        b.nest(&[("t", 0, 2), ("i", 0, n)], stmts).unwrap();
+        b.build()
+    }
+
+    fn unrolled_program(p: &Program, factor: u32) -> Program {
+        let mut q = p.clone();
+        let u = unroll(&p.nests()[0], factor);
+        q.nests_mut()[0] = u;
+        q
+    }
+
+    #[test]
+    fn unroll_preserves_semantics() {
+        for factor in [1u32, 2, 4, 8] {
+            let p = program(&["A[i] = B[i] * 2 + C[i]", "C[i] = A[i] + 1"], 32);
+            let q = unrolled_program(&p, factor);
+            let mut want = p.initial_data();
+            run_sequential(&p, &mut want);
+            let mut got = q.initial_data();
+            run_sequential(&q, &mut got);
+            assert_eq!(got, want, "factor {factor} changed semantics");
+        }
+    }
+
+    #[test]
+    fn unroll_preserves_stencil_semantics() {
+        let p = program(&["A[i] = B[i+1] + B[i] + 2"], 32);
+        let q = unrolled_program(&p, 4);
+        let mut want = p.initial_data();
+        run_sequential(&p, &mut want);
+        let mut got = q.initial_data();
+        run_sequential(&q, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unroll_shapes() {
+        let p = program(&["A[i] = B[i]"], 32);
+        let u = unroll(&p.nests()[0], 4);
+        assert_eq!(u.body.len(), 4);
+        assert_eq!(u.dims[1].trip_count(), 8);
+        assert_eq!(u.iteration_count(), 16); // 2 timesteps x 8
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_factor_panics() {
+        let p = program(&["A[i] = B[i]"], 30);
+        let _ = unroll(&p.nests()[0], 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Tile coordinates and the Manhattan-distance metric.
+
+use std::fmt;
+
+/// The coordinate of one tile (node) on the 2D mesh.
+///
+/// The paper labels each node with `(x, y)`; `x` is the column and `y` the
+/// row. The *data movement distance* between two nodes is their Manhattan
+/// distance, i.e. the minimum number of network links a message between them
+/// must traverse:
+///
+/// `MD(n_{i,j}, n_{x,y}) = |i − x| + |j − y|`
+///
+/// # Examples
+///
+/// ```
+/// use dmcp_mach::NodeId;
+///
+/// let home = NodeId::new(1, 2);
+/// let requester = NodeId::new(4, 0);
+/// assert_eq!(home.manhattan(requester), 5);
+/// assert_eq!(home.manhattan(home), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId {
+    x: u16,
+    y: u16,
+}
+
+impl NodeId {
+    /// Creates a node label from a column (`x`) and row (`y`).
+    pub const fn new(x: u16, y: u16) -> Self {
+        Self { x, y }
+    }
+
+    /// Column of the node on the mesh.
+    pub const fn x(self) -> u16 {
+        self.x
+    }
+
+    /// Row of the node on the mesh.
+    pub const fn y(self) -> u16 {
+        self.y
+    }
+
+    /// Manhattan distance to `other`: the minimum number of links that need
+    /// to be traversed between the two tiles (Section 2 of the paper).
+    pub fn manhattan(self, other: NodeId) -> u32 {
+        let dx = self.x.abs_diff(other.x) as u32;
+        let dy = self.y.abs_diff(other.y) as u32;
+        dx + dy
+    }
+
+    /// `true` if the two nodes are joined by a single mesh link.
+    pub fn is_adjacent(self, other: NodeId) -> bool {
+        self.manhattan(other) == 1
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n({},{})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl From<(u16, u16)> for NodeId {
+    fn from((x, y): (u16, u16)) -> Self {
+        NodeId::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_zero_on_self() {
+        let n = NodeId::new(3, 4);
+        assert_eq!(n.manhattan(n), 0);
+    }
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = NodeId::new(0, 5);
+        let b = NodeId::new(7, 1);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(b), 11);
+    }
+
+    #[test]
+    fn manhattan_triangle_inequality() {
+        let a = NodeId::new(0, 0);
+        let b = NodeId::new(3, 3);
+        let c = NodeId::new(5, 1);
+        assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    #[test]
+    fn adjacency() {
+        let a = NodeId::new(2, 2);
+        assert!(a.is_adjacent(NodeId::new(2, 3)));
+        assert!(a.is_adjacent(NodeId::new(1, 2)));
+        assert!(!a.is_adjacent(NodeId::new(3, 3)));
+        assert!(!a.is_adjacent(a));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let n = NodeId::new(1, 2);
+        assert_eq!(n.to_string(), "(1,2)");
+        assert_eq!(format!("{n:?}"), "n(1,2)");
+    }
+
+    #[test]
+    fn from_tuple() {
+        let n: NodeId = (4, 7).into();
+        assert_eq!((n.x(), n.y()), (4, 7));
+    }
+
+    #[test]
+    fn ordering_is_row_major_on_x_then_y() {
+        // Derived Ord sorts by x first; we only rely on it being total.
+        let mut v = [NodeId::new(1, 0), NodeId::new(0, 9), NodeId::new(0, 1)];
+        v.sort();
+        assert_eq!(v[0], NodeId::new(0, 1));
+        assert_eq!(v[2], NodeId::new(1, 0));
+    }
+}

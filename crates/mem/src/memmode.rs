@@ -1,0 +1,183 @@
+//! KNL-style memory modes: flat, cache and hybrid MCDRAM (Section 6.1).
+//!
+//! - **Flat** — MCDRAM and DDR share the address space; data structures that
+//!   were profiled as hot are *placed* into MCDRAM (the paper uses VTune
+//!   profiles and pragmas; here the workload marks arrays as hot).
+//! - **Cache** — MCDRAM is a direct-mapped memory-side cache in front of DDR.
+//! - **Hybrid** — half the MCDRAM is cache, half is flat-placed memory.
+
+use crate::addr::LineAddr;
+use crate::cache::Cache;
+
+/// Which physical memory tier ultimately serves an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemTier {
+    /// On-package high-bandwidth memory (MCDRAM-like).
+    Fast,
+    /// Off-package DRAM (DDR-like).
+    Slow,
+}
+
+/// The three memory modes of the target machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum MemoryMode {
+    /// MCDRAM mapped as memory; hot data is placed there explicitly. The
+    /// paper's best-performing baseline mode and the default here.
+    #[default]
+    Flat,
+    /// MCDRAM as a direct-mapped memory-side cache.
+    Cache,
+    /// 50/50 split between cache and flat (the partitioning the paper uses).
+    Hybrid,
+}
+
+impl MemoryMode {
+    /// All modes in the order of the paper's Figure 22 labels
+    /// (X: flat, Y: cache, Z: hybrid).
+    pub const ALL: [MemoryMode; 3] = [MemoryMode::Flat, MemoryMode::Cache, MemoryMode::Hybrid];
+
+    /// Single-letter label used by Figure 22.
+    pub fn letter(self) -> char {
+        match self {
+            MemoryMode::Flat => 'X',
+            MemoryMode::Cache => 'Y',
+            MemoryMode::Hybrid => 'Z',
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MemoryMode::Flat => "flat",
+            MemoryMode::Cache => "cache",
+            MemoryMode::Hybrid => "hybrid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Stateful model of the off-chip memory system for one memory mode.
+///
+/// The simulator asks it, per L2 miss, which tier serves the line. In cache
+/// and hybrid modes this consults (and updates) the MCDRAM cache model.
+///
+/// # Examples
+///
+/// ```
+/// use dmcp_mem::{LineAddr, MemTier, MemoryMode, MemorySystem};
+///
+/// let mut mem = MemorySystem::new(MemoryMode::Flat, 1024);
+/// // In flat mode, placement decides: hot lines live in MCDRAM.
+/// assert_eq!(mem.serve(LineAddr::new(7), true), MemTier::Fast);
+/// assert_eq!(mem.serve(LineAddr::new(8), false), MemTier::Slow);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemorySystem {
+    mode: MemoryMode,
+    mcdram: Option<Cache>,
+}
+
+impl MemorySystem {
+    /// Creates the memory system; `mcdram_lines` is the MCDRAM capacity in
+    /// cache lines (only used by the cache/hybrid modes).
+    pub fn new(mode: MemoryMode, mcdram_lines: u32) -> Self {
+        let mcdram = match mode {
+            MemoryMode::Flat => None,
+            MemoryMode::Cache => Some(Cache::direct_mapped(mcdram_lines.max(1))),
+            MemoryMode::Hybrid => Some(Cache::direct_mapped((mcdram_lines / 2).max(1))),
+        };
+        Self { mode, mcdram }
+    }
+
+    /// The mode in effect.
+    pub fn mode(&self) -> MemoryMode {
+        self.mode
+    }
+
+    /// Serves an L2 miss for `line`; `hot` says whether the workload placed
+    /// the owning array into MCDRAM (flat placement).
+    ///
+    /// Returns the tier that supplied the data. In cache mode the MCDRAM
+    /// cache is updated as a side effect; in hybrid mode hot lines use the
+    /// flat half and the rest go through the cache half.
+    pub fn serve(&mut self, line: LineAddr, hot: bool) -> MemTier {
+        match self.mode {
+            MemoryMode::Flat => {
+                if hot {
+                    MemTier::Fast
+                } else {
+                    MemTier::Slow
+                }
+            }
+            MemoryMode::Cache => self.through_mcdram(line),
+            MemoryMode::Hybrid => {
+                if hot {
+                    MemTier::Fast
+                } else {
+                    self.through_mcdram(line)
+                }
+            }
+        }
+    }
+
+    fn through_mcdram(&mut self, line: LineAddr) -> MemTier {
+        let cache = self.mcdram.as_mut().expect("mcdram cache present");
+        if cache.access(line).is_miss() {
+            MemTier::Slow
+        } else {
+            MemTier::Fast
+        }
+    }
+
+    /// MCDRAM-cache hit rate so far (0 in flat mode).
+    pub fn mcdram_hit_rate(&self) -> f64 {
+        self.mcdram.as_ref().map_or(0.0, Cache::hit_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_mode_is_pure_placement() {
+        let mut mem = MemorySystem::new(MemoryMode::Flat, 16);
+        assert_eq!(mem.serve(LineAddr::new(0), true), MemTier::Fast);
+        assert_eq!(mem.serve(LineAddr::new(0), false), MemTier::Slow);
+        assert_eq!(mem.mcdram_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cache_mode_warms_up() {
+        let mut mem = MemorySystem::new(MemoryMode::Cache, 16);
+        assert_eq!(mem.serve(LineAddr::new(3), false), MemTier::Slow);
+        assert_eq!(mem.serve(LineAddr::new(3), false), MemTier::Fast);
+        // Hot placement is irrelevant in cache mode.
+        assert_eq!(mem.serve(LineAddr::new(4), true), MemTier::Slow);
+    }
+
+    #[test]
+    fn cache_mode_conflicts_in_direct_mapping() {
+        let mut mem = MemorySystem::new(MemoryMode::Cache, 4);
+        mem.serve(LineAddr::new(0), false);
+        mem.serve(LineAddr::new(4), false); // conflicts with 0 (4 % 4 == 0)
+        assert_eq!(mem.serve(LineAddr::new(0), false), MemTier::Slow);
+    }
+
+    #[test]
+    fn hybrid_mixes_both() {
+        let mut mem = MemorySystem::new(MemoryMode::Hybrid, 16);
+        assert_eq!(mem.serve(LineAddr::new(1), true), MemTier::Fast);
+        assert_eq!(mem.serve(LineAddr::new(2), false), MemTier::Slow);
+        assert_eq!(mem.serve(LineAddr::new(2), false), MemTier::Fast);
+    }
+
+    #[test]
+    fn figure_22_letters() {
+        assert_eq!(MemoryMode::Flat.letter(), 'X');
+        assert_eq!(MemoryMode::Cache.letter(), 'Y');
+        assert_eq!(MemoryMode::Hybrid.letter(), 'Z');
+        assert_eq!(MemoryMode::default(), MemoryMode::Flat);
+    }
+}

@@ -1,0 +1,173 @@
+//! On-chip network model: XY routing, per-link utilisation and contention.
+//!
+//! Latency of one transfer = `hops × hop_latency + Σ contention · load(l)`
+//! over the links `l` of the XY route, where `load` is an exponentially
+//! decayed traversal count — a queueing-style approximation that makes hot
+//! links slower, which is what the paper's Figure 19 (average/maximum
+//! network latency) measures.
+
+use dmcp_mach::{routing, LatencyModel, Link, NodeId};
+use std::collections::HashMap;
+
+/// Decay applied to a link's load on each traversal (the effective window
+/// is ~1/(1-decay) recent traversals).
+const LOAD_DECAY: f64 = 0.98;
+
+/// The network state: link loads plus latency statistics.
+#[derive(Clone, Debug)]
+pub struct Network {
+    latency: LatencyModel,
+    load: HashMap<Link, f64>,
+    messages: u64,
+    latency_sum: f64,
+    latency_max: f64,
+    links_traversed: u64,
+    /// When `true` every transfer takes zero time (the paper's
+    /// ideal-network scenario); loads and link counts are still recorded.
+    pub zero_latency: bool,
+    /// Multiplier on the hop count used for *timing* (the S2 scenario
+    /// scales the default code's movement down to the optimized one's).
+    pub distance_scale: f64,
+}
+
+impl Network {
+    /// Creates an idle network with the given timing constants.
+    pub fn new(latency: LatencyModel) -> Self {
+        Self {
+            latency,
+            load: HashMap::new(),
+            messages: 0,
+            latency_sum: 0.0,
+            latency_max: 0.0,
+            links_traversed: 0,
+            zero_latency: false,
+            distance_scale: 1.0,
+        }
+    }
+
+    /// Performs one transfer of a cache-line-sized message from `src` to
+    /// `dst`, updating link loads; returns its latency in cycles.
+    ///
+    /// A zero-hop transfer (same node) is free and not counted as a
+    /// message.
+    pub fn transfer(&mut self, src: NodeId, dst: NodeId) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        let path = routing::route(src, dst);
+        let mut lat = 0.0;
+        for link in &path {
+            let load = self.load.entry(*link).or_insert(0.0);
+            lat += self.latency.hop + self.latency.contention * *load;
+            *load = *load * LOAD_DECAY + 1.0;
+            self.links_traversed += 1;
+        }
+        lat *= self.distance_scale;
+        if self.zero_latency {
+            lat = 0.0;
+        }
+        self.messages += 1;
+        self.latency_sum += lat;
+        if lat > self.latency_max {
+            self.latency_max = lat;
+        }
+        lat
+    }
+
+    /// Number of messages transferred.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total links traversed by all messages (the network footprint).
+    pub fn links_traversed(&self) -> u64 {
+        self.links_traversed
+    }
+
+    /// Mean message latency in cycles (0 when idle).
+    pub fn avg_latency(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.latency_sum / self.messages as f64
+        }
+    }
+
+    /// Maximum message latency observed (a congestion indicator).
+    pub fn max_latency(&self) -> f64 {
+        self.latency_max
+    }
+
+    /// Current per-link decayed loads (a congestion heatmap snapshot).
+    pub fn link_loads(&self) -> impl Iterator<Item = (Link, f64)> + '_ {
+        self.load.iter().map(|(&l, &v)| (l, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(LatencyModel::default())
+    }
+
+    #[test]
+    fn transfer_latency_scales_with_distance() {
+        let mut n = net();
+        let near = n.transfer(NodeId::new(0, 0), NodeId::new(1, 0));
+        let mut n2 = net();
+        let far = n2.transfer(NodeId::new(0, 0), NodeId::new(5, 5));
+        assert!(far > near);
+        assert_eq!(n2.links_traversed(), 10);
+    }
+
+    #[test]
+    fn same_node_transfer_is_free() {
+        let mut n = net();
+        assert_eq!(n.transfer(NodeId::new(2, 2), NodeId::new(2, 2)), 0.0);
+        assert_eq!(n.messages(), 0);
+    }
+
+    #[test]
+    fn contention_grows_on_hot_links() {
+        let mut n = net();
+        let first = n.transfer(NodeId::new(0, 0), NodeId::new(3, 0));
+        for _ in 0..50 {
+            n.transfer(NodeId::new(0, 0), NodeId::new(3, 0));
+        }
+        let later = n.transfer(NodeId::new(0, 0), NodeId::new(3, 0));
+        assert!(later > first, "contention should raise latency");
+        assert!(n.max_latency() >= later);
+    }
+
+    #[test]
+    fn avg_latency_tracks_messages() {
+        let mut n = net();
+        n.transfer(NodeId::new(0, 0), NodeId::new(1, 0));
+        n.transfer(NodeId::new(0, 0), NodeId::new(2, 0));
+        assert!(n.avg_latency() > 0.0);
+        assert!(n.max_latency() >= n.avg_latency());
+        assert_eq!(n.messages(), 2);
+    }
+
+    #[test]
+    fn zero_latency_mode_still_counts_links() {
+        let mut n = net();
+        n.zero_latency = true;
+        let lat = n.transfer(NodeId::new(0, 0), NodeId::new(4, 4));
+        assert_eq!(lat, 0.0);
+        assert_eq!(n.links_traversed(), 8);
+        assert_eq!(n.avg_latency(), 0.0);
+    }
+
+    #[test]
+    fn distance_scale_shrinks_latency() {
+        let mut a = net();
+        let full = a.transfer(NodeId::new(0, 0), NodeId::new(4, 0));
+        let mut b = net();
+        b.distance_scale = 0.5;
+        let half = b.transfer(NodeId::new(0, 0), NodeId::new(4, 0));
+        assert!((half - full / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,192 @@
+//! Simulation results.
+
+use std::collections::HashMap;
+
+/// Energy consumption by component (arbitrary units; relative values are
+/// what Figure 24 reports).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Network link traversals.
+    pub link: f64,
+    /// L1 + L2 accesses.
+    pub cache: f64,
+    /// Memory accesses (both tiers).
+    pub memory: f64,
+    /// ALU operations.
+    pub op: f64,
+    /// Static/leakage over the execution time.
+    pub background: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.link + self.cache + self.memory + self.op + self.background
+    }
+}
+
+/// Everything the simulator measured for one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimReport {
+    /// Execution time in cycles (the slowest node's clock).
+    pub exec_time: f64,
+    /// Total data movement: links traversed by data payloads.
+    pub movement: u64,
+    /// Messages sent on the network.
+    pub messages: u64,
+    /// Mean network message latency.
+    pub net_avg_latency: f64,
+    /// Maximum network message latency (congestion indicator).
+    pub net_max_latency: f64,
+    /// L1 hits / misses.
+    pub l1_hits: u64,
+    /// See [`SimReport::l1_hits`].
+    pub l1_misses: u64,
+    /// L2 hits / misses.
+    pub l2_hits: u64,
+    /// See [`SimReport::l2_hits`].
+    pub l2_misses: u64,
+    /// Memory accesses served by the fast tier (MCDRAM).
+    pub mem_fast: u64,
+    /// Memory accesses served by the slow tier (DDR).
+    pub mem_slow: u64,
+    /// Cross-node synchronizations performed.
+    pub sync_count: u64,
+    /// Cycles spent stalled waiting on cross-node producers.
+    pub sync_wait: f64,
+    /// Total ALU operations executed.
+    pub ops: u64,
+    /// Compile-time-predictor accuracy observed against the simulated
+    /// caches (1.0 if nothing was checked) — paper Table 2.
+    pub predictor_accuracy: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Per-statement-instance data movement, keyed by `(nest, instance)`
+    /// (only filled when instance tracking is enabled).
+    pub per_instance_movement: HashMap<(u32, u64), u64>,
+    /// The busiest node's total service time (capacity bound).
+    pub busiest_node: f64,
+    /// The latest step completion (critical-path bound).
+    pub last_finish: f64,
+}
+
+impl SimReport {
+    /// L1 hit rate.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let t = self.l1_hits + self.l1_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / t as f64
+        }
+    }
+
+    /// L2 miss rate.
+    pub fn l2_miss_rate(&self) -> f64 {
+        let t = self.l2_hits + self.l2_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / t as f64
+        }
+    }
+
+    /// Fractional execution-time reduction relative to `baseline`
+    /// (positive = faster than the baseline).
+    pub fn time_reduction_vs(&self, baseline: &SimReport) -> f64 {
+        if baseline.exec_time == 0.0 {
+            0.0
+        } else {
+            1.0 - self.exec_time / baseline.exec_time
+        }
+    }
+
+    /// Fractional movement reduction relative to `baseline`.
+    pub fn movement_reduction_vs(&self, baseline: &SimReport) -> f64 {
+        if baseline.movement == 0 {
+            0.0
+        } else {
+            1.0 - self.movement as f64 / baseline.movement as f64
+        }
+    }
+
+    /// Fractional energy reduction relative to `baseline`.
+    pub fn energy_reduction_vs(&self, baseline: &SimReport) -> f64 {
+        let b = baseline.energy.total();
+        if b == 0.0 {
+            0.0
+        } else {
+            1.0 - self.energy.total() / b
+        }
+    }
+
+    /// Mean and max per-statement-instance movement reduction vs a baseline
+    /// run with instance tracking (instances present in both runs with
+    /// nonzero baseline movement). Returns `(avg, max)`.
+    pub fn per_instance_reduction_vs(&self, baseline: &SimReport) -> (f64, f64) {
+        let mut sum = 0.0;
+        let mut max: f64 = 0.0;
+        let mut n = 0u64;
+        for (key, &base) in &baseline.per_instance_movement {
+            if base == 0 {
+                continue;
+            }
+            let opt = self.per_instance_movement.get(key).copied().unwrap_or(0);
+            let red = 1.0 - opt as f64 / base as f64;
+            sum += red;
+            if red > max {
+                max = red;
+            }
+            n += 1;
+        }
+        if n == 0 {
+            (0.0, 0.0)
+        } else {
+            (sum / n as f64, max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_reductions() {
+        let mut base = SimReport { exec_time: 100.0, movement: 200, ..SimReport::default() };
+        base.l1_hits = 3;
+        base.l1_misses = 1;
+        let opt = SimReport { exec_time: 80.0, movement: 120, ..SimReport::default() };
+        assert!((base.l1_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((opt.time_reduction_vs(&base) - 0.2).abs() < 1e-12);
+        assert!((opt.movement_reduction_vs(&base) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_instance_reduction() {
+        let mut base = SimReport::default();
+        base.per_instance_movement.insert((0, 0), 10);
+        base.per_instance_movement.insert((0, 1), 20);
+        let mut opt = SimReport::default();
+        opt.per_instance_movement.insert((0, 0), 5);
+        opt.per_instance_movement.insert((0, 1), 20);
+        let (avg, max) = opt.per_instance_reduction_vs(&base);
+        assert!((avg - 0.25).abs() < 1e-12);
+        assert!((max - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_total() {
+        let e = EnergyBreakdown { link: 1.0, cache: 2.0, memory: 3.0, op: 4.0, background: 5.0 };
+        assert_eq!(e.total(), 15.0);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SimReport::default();
+        assert_eq!(r.l1_hit_rate(), 0.0);
+        assert_eq!(r.l2_miss_rate(), 0.0);
+        assert_eq!(r.time_reduction_vs(&SimReport::default()), 0.0);
+        assert_eq!(r.per_instance_reduction_vs(&SimReport::default()), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,66 @@
+//! Barnes — Splash-2 hierarchical n-body.
+//!
+//! Long force-accumulation statements (the paper credits Barnes's
+//! "longer/more complex statements" for its high subcomputation parallelism)
+//! with indirect cell lookups through a body→cell index array; the lowest
+//! analyzability of the suite (68.3 %).
+
+use crate::{gen, meta, Scale, Workload};
+use dmcp_ir::ProgramBuilder;
+
+/// Builds the Barnes workload.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.n();
+    let t = scale.timesteps();
+    let cells = (n / 4).max(8);
+    let mut b = ProgramBuilder::new();
+    for name in ["ax", "ay", "px", "py", "pxn", "pyn", "m"] {
+        b.array(name, &[n as u64], 64);
+    }
+    let cidx = b.array("cidx", &[n as u64], 8);
+    for name in ["cmx", "cmy", "cm"] {
+        b.array(name, &[cells as u64], 64);
+    }
+    b.nest(
+        &[("t", 0, t), ("i", 0, n)],
+        &[
+            // Force from the interacting cell plus near-neighbour terms
+            // (all from the *old* positions, as in the real leapfrog).
+            "ax[i] = ax[i] + cm[cidx[i]] * (cmx[cidx[i]] - px[i]) + m[i] * px[i] + px[i+1] - px[i-1]",
+            "ay[i] = ay[i] + cm[cidx[i]] * (cmy[cidx[i]] - py[i]) + m[i] * py[i] + py[i+1] - py[i-1]",
+            // Integrator half-step into the new-position buffers.
+            "pxn[i] = px[i] + ax[i] * 2 + (m[i] & 7)",
+            "pyn[i] = py[i] + ay[i] * 2 + (m[i] & 7)",
+        ],
+    )
+    .expect("barnes statements parse");
+    let mut program = b.build();
+    gen::set_analyzability(&mut program, meta::BARNES.analyzable, 0xBA51);
+    let mut data = program.initial_data();
+    data.fill(cidx, &gen::clustered_indices(n as u64, cells as u64, 8, 0xBA52));
+    Workload { name: "Barnes", program, data, paper: meta::BARNES }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_matches_table1() {
+        let w = build(Scale::Tiny);
+        assert_eq!(w.name, "Barnes");
+        assert!((w.program.static_analyzability() - 0.683).abs() < 0.05);
+    }
+
+    #[test]
+    fn has_long_statements() {
+        let w = build(Scale::Tiny);
+        let max_reads = w.program.nests()[0]
+            .body
+            .iter()
+            .map(|s| s.reads().len())
+            .max()
+            .unwrap();
+        assert!(max_reads >= 6, "Barnes statements should be long, got {max_reads}");
+    }
+}

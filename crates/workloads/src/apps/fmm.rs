@@ -1,0 +1,49 @@
+//! FMM — Splash-2 adaptive fast multipole method.
+//!
+//! Multipole-expansion evaluation: medium-length statements mixing direct
+//! particle data with indirect interaction-list lookups; 74.4 % analyzable,
+//! balanced add/mul mix (47.2 / 45.3).
+
+use crate::{gen, meta, Scale, Workload};
+use dmcp_ir::ProgramBuilder;
+
+/// Builds the FMM workload.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.n();
+    let t = scale.timesteps();
+    let boxes = (n / 8).max(8);
+    let mut b = ProgramBuilder::new();
+    for name in ["phi", "q", "x"] {
+        b.array(name, &[n as u64], 64);
+    }
+    let ilist = b.array("ilist", &[n as u64], 8);
+    for name in ["mp0", "mp1", "mp2"] {
+        b.array(name, &[boxes as u64], 64);
+    }
+    b.nest(
+        &[("t", 0, t), ("i", 0, n)],
+        &[
+            // Far-field evaluation from the box multipoles.
+            "phi[i] = phi[i] + mp0[ilist[i]] + mp1[ilist[i]] * x[i] + mp2[ilist[i]] * x[i] * x[i]",
+            // Near-field correction.
+            "phi[i] = phi[i] + q[i] * x[i] - q[i+1] * x[i+1]",
+        ],
+    )
+    .expect("fmm statements parse");
+    let mut program = b.build();
+    gen::set_analyzability(&mut program, meta::FMM.analyzable, 0xF33);
+    let mut data = program.initial_data();
+    data.fill(ilist, &gen::clustered_indices(n as u64, boxes as u64, 4, 0xF34));
+    Workload { name: "FMM", program, data, paper: meta::FMM }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_matches_table1() {
+        let w = build(Scale::Tiny);
+        assert!((w.program.static_analyzability() - 0.744).abs() < 0.05);
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per evaluation application (paper Table 1 order).
+
+pub mod barnes;
+pub mod cholesky;
+pub mod fft;
+pub mod fmm;
+pub mod lu;
+pub mod minimd;
+pub mod minixyce;
+pub mod ocean;
+pub mod radiosity;
+pub mod radix;
+pub mod raytrace;
+pub mod water;

@@ -1,0 +1,72 @@
+//! Ocean — Splash-2 ocean-current simulation (red/black Gauss–Seidel).
+//!
+//! Wide 5/9-point stencils: the longest statements of the suite, heavy
+//! cross-statement reuse of the current-timestep grid ⇒ the largest
+//! movement reductions and parallelism in the paper.
+
+use crate::{gen, meta, Scale, Workload};
+use dmcp_ir::ProgramBuilder;
+
+/// Grid width used for the ±row stencil offsets.
+const ROW: i64 = 32;
+
+/// Builds the Ocean workload.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.n() * 2;
+    let t = scale.timesteps();
+    let mut b = ProgramBuilder::new();
+    for name in ["cur", "nxt", "psi", "frc"] {
+        b.array(name, &[n as u64], 64);
+    }
+    b.nest(
+        &[("t", 0, t), ("i", ROW, n - ROW)],
+        &[
+            // 5-point relaxation plus forcing (Jacobi: cur is read-only
+            // within a sweep, like the real red/black phases).
+            "nxt[i] = (cur[i-1] + cur[i+1] + cur[i-32] + cur[i+32]) * 3 - cur[i] * 11 + frc[i]",
+            // Stream-function update re-using the same neighbourhood.
+            "psi[i] = psi[i] + (cur[i-1] - cur[i+1]) * 5 + (cur[i-32] - cur[i+32]) * 7",
+            // Error accumulator re-using this sweep's results.
+            "frc[i] = nxt[i] * 9 + psi[i] - cur[i]",
+        ],
+    )
+    .expect("ocean statements parse");
+    let mut program = b.build();
+    gen::set_analyzability(&mut program, meta::OCEAN.analyzable, 0x0CEA);
+    let data = program.initial_data();
+    Workload { name: "Ocean", program, data, paper: meta::OCEAN }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_matches_table1() {
+        let w = build(Scale::Tiny);
+        assert!((w.program.static_analyzability() - 0.773).abs() < 0.05);
+    }
+
+    #[test]
+    fn stencil_statements_are_wide() {
+        let w = build(Scale::Tiny);
+        let max_reads = w.program.nests()[0]
+            .body
+            .iter()
+            .map(|s| s.reads().len())
+            .max()
+            .unwrap();
+        assert!(max_reads >= 5, "Ocean stencils should be wide, got {max_reads}");
+    }
+
+    #[test]
+    fn statements_share_the_cur_neighbourhood() {
+        let w = build(Scale::Tiny);
+        let body = &w.program.nests()[0].body;
+        let cur_reads = |s: &dmcp_ir::Statement| {
+            s.reads().iter().filter(|r| r.array.index() == 0).count()
+        };
+        assert!(cur_reads(&body[0]) >= 4);
+        assert!(cur_reads(&body[1]) >= 4);
+    }
+}

@@ -1,0 +1,70 @@
+//! Water — Splash-2 molecular dynamics (water molecules).
+//!
+//! Pairwise-distance accumulation: the most add/sub-heavy mix of the suite
+//! (58.1 %), moderate statement length, strong reuse of the displacement
+//! arrays across statements.
+
+use crate::{gen, meta, Scale, Workload};
+use dmcp_ir::ProgramBuilder;
+
+/// Builds the Water workload.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.n();
+    let t = scale.timesteps();
+    let mut b = ProgramBuilder::new();
+    for name in ["x", "y", "z", "ex", "ey", "ez", "pot", "kin"] {
+        b.array(name, &[n as u64], 64);
+    }
+    b.nest(
+        &[("t", 0, t), ("i", 1, n - 1)],
+        &[
+            // Displacements to the neighbouring molecule.
+            "ex[i] = x[i+1] - x[i] + x[i-1]",
+            "ey[i] = y[i+1] - y[i] + y[i-1]",
+            "ez[i] = z[i+1] - z[i] + z[i-1]",
+            // Potential/kinetic accumulation re-using the displacements.
+            "pot[i] = pot[i] + ex[i] * ex[i] + ey[i] * ey[i] + ez[i] * ez[i]",
+            "kin[i] = kin[i] + ex[i] + ey[i] + ez[i] - (pot[i] & 7)",
+        ],
+    )
+    .expect("water statements parse");
+    let mut program = b.build();
+    gen::set_analyzability(&mut program, meta::WATER.analyzable, 0x3A7E);
+    let data = program.initial_data();
+    Workload { name: "Water", program, data, paper: meta::WATER }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_matches_table1() {
+        let w = build(Scale::Tiny);
+        assert!((w.program.static_analyzability() - 0.88).abs() < 0.05);
+    }
+
+    #[test]
+    fn mix_is_addsub_heavy() {
+        let w = build(Scale::Tiny);
+        let ops: Vec<_> = w.program.nests()[0]
+            .body
+            .iter()
+            .flat_map(|s| s.rhs.ops())
+            .collect();
+        let addsub = ops
+            .iter()
+            .filter(|o| o.category() == dmcp_ir::op::OpCategory::AddSub)
+            .count();
+        assert!(addsub * 2 > ops.len(), "Water should be add/sub heavy: {ops:?}");
+    }
+
+    #[test]
+    fn displacements_are_reused() {
+        let w = build(Scale::Tiny);
+        let body = &w.program.nests()[0].body;
+        // ex (index 3) written by statement 0, read by statements 3 and 4.
+        let reads_ex = |k: usize| body[k].reads().iter().any(|r| r.array.index() == 3);
+        assert!(reads_ex(3) && reads_ex(4));
+    }
+}

@@ -1,0 +1,167 @@
+//! The 12 evaluation kernels (paper Section 6.1: Splash-2 + Mantevo).
+//!
+//! Each workload is a loop-nest program whose *shape* mirrors the
+//! corresponding application's characterisation in the paper:
+//!
+//! - statement length/complexity (drives the MST savings and the degree of
+//!   subcomputation parallelism — Figures 13/14),
+//! - the fraction of compile-time-analyzable references (Table 1, imposed
+//!   exactly via [`gen::set_analyzability`]),
+//! - the operation mix (Table 3),
+//! - indirection (Radix, Raytrace, Barnes, MiniMD, MiniXyce use index
+//!   arrays; their resolved locations model the paper's inspector/executor
+//!   scheme),
+//! - data reuse across statements (drives the window benefit — Figures
+//!   20/21) and across timing iterations (keeps the L2 warm, as the paper's
+//!   16–37 % L2 miss rates imply).
+//!
+//! Data sets are scaled to the simulated machine (a few MiB against a
+//! ~2 MiB aggregate L2) so cache-pressure ratios stay comparable to the
+//! paper's GB-scale runs on a 36 MiB L2.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmcp_workloads::{all, Scale};
+//!
+//! let suite = all(Scale::Small);
+//! assert_eq!(suite.len(), 12);
+//! assert_eq!(suite[0].name, "Barnes");
+//! ```
+
+pub mod apps;
+pub mod gen;
+pub mod meta;
+
+use dmcp_ir::program::DataStore;
+use dmcp_ir::Program;
+pub use meta::PaperRow;
+
+/// Problem-size selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Tiny inputs for unit tests (hundreds of instances).
+    Tiny,
+    /// Small inputs for integration tests (a few thousand instances).
+    #[default]
+    Small,
+    /// The size used by the benchmark harness (tens of thousands of
+    /// instances).
+    Full,
+}
+
+impl Scale {
+    /// Base 1-D extent for this scale.
+    pub fn n(self) -> i64 {
+        match self {
+            Scale::Tiny => 256,
+            Scale::Small => 512,
+            Scale::Full => 2048,
+        }
+    }
+
+    /// Timing-loop trip count for this scale.
+    pub fn timesteps(self) -> i64 {
+        match self {
+            Scale::Tiny => 2,
+            Scale::Small => 3,
+            Scale::Full => 4,
+        }
+    }
+}
+
+/// One benchmark program plus its run-time data and the paper's reported
+/// numbers for comparison.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Application name as in the paper.
+    pub name: &'static str,
+    /// The loop-nest program.
+    pub program: Program,
+    /// Concrete data (index arrays installed; also the inspector's view).
+    pub data: DataStore,
+    /// The paper's reported values for this application.
+    pub paper: PaperRow,
+}
+
+/// Builds the full 12-application suite, in the paper's table order.
+pub fn all(scale: Scale) -> Vec<Workload> {
+    vec![
+        apps::barnes::build(scale),
+        apps::cholesky::build(scale),
+        apps::fft::build(scale),
+        apps::fmm::build(scale),
+        apps::lu::build(scale),
+        apps::ocean::build(scale),
+        apps::radiosity::build(scale),
+        apps::radix::build(scale),
+        apps::raytrace::build(scale),
+        apps::water::build(scale),
+        apps::minimd::build(scale),
+        apps::minixyce::build(scale),
+    ]
+}
+
+/// Builds one workload by (case-insensitive) name.
+pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
+    let lower = name.to_ascii_lowercase();
+    all(scale).into_iter().find(|w| w.name.to_ascii_lowercase() == lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_unique_names() {
+        let suite = all(Scale::Tiny);
+        let names: std::collections::HashSet<_> = suite.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn analyzability_matches_table_1() {
+        for w in all(Scale::Tiny) {
+            let got = w.program.static_analyzability();
+            assert!(
+                (got - w.paper.analyzable).abs() < 0.05,
+                "{}: analyzability {:.3} vs paper {:.3}",
+                w.name,
+                got,
+                w.paper.analyzable
+            );
+        }
+    }
+
+    #[test]
+    fn every_workload_has_iterations() {
+        for w in all(Scale::Tiny) {
+            let total: u64 = w.program.nests().iter().map(|n| n.iteration_count()).sum();
+            assert!(total > 0, "{} has no iterations", w.name);
+        }
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name("ocean", Scale::Tiny).is_some());
+        assert!(by_name("OCEAN", Scale::Tiny).is_some());
+        assert!(by_name("nonesuch", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn workloads_run_sequentially_without_nan() {
+        for w in all(Scale::Tiny) {
+            let mut data = w.data.clone();
+            dmcp_ir::exec::run_sequential(&w.program, &mut data);
+            // Spot-check: the first array's first element is finite.
+            let v = data.get(dmcp_ir::ArrayId::from_index(0), 0);
+            assert!(v.is_finite(), "{} produced {v}", w.name);
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Tiny.n() < Scale::Small.n());
+        assert!(Scale::Small.n() < Scale::Full.n());
+    }
+}

@@ -1,0 +1,37 @@
+//! Plan explainer: show exactly how the partitioner splits one statement —
+//! the textual form of the paper's Figures 6 and 8 — and dump the first
+//! instances of the schedule as Graphviz DOT.
+//!
+//! Run with: `cargo run -p dmcp --example plan_explain -- [name] [instance]`
+//! (defaults: lu 0)
+
+use dmcp::core::explain::{explain_instance, schedule_to_dot};
+use dmcp::core::{PartitionConfig, Partitioner};
+use dmcp::mach::MachineConfig;
+use dmcp::workloads::{by_name, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "lu".to_string());
+    let instance: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let Some(w) = by_name(&name, Scale::Tiny) else {
+        eprintln!("unknown workload `{name}`");
+        std::process::exit(1);
+    };
+    let machine = MachineConfig::knl_like();
+    let part = Partitioner::new(&machine, &w.program, PartitionConfig::default());
+    let out = part.partition_with_data(&w.program, &w.data);
+    let schedule = &out.nests[0].schedule;
+
+    println!("== {} ==", w.name);
+    println!(
+        "source nest:\n{}",
+        dmcp::ir::display::nest_to_string(&w.program.nests()[0], &w.program)
+    );
+    for k in instance..instance + 4 {
+        if let Some(text) = explain_instance(schedule, &w.program, 0, k) {
+            print!("{text}");
+        }
+    }
+    println!("\nGraphviz of the first two instances (pipe into `dot -Tsvg`):\n");
+    print!("{}", schedule_to_dot(schedule, 2));
+}

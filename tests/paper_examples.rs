@@ -1,0 +1,134 @@
+//! The paper's worked examples (Sections 3 and 5), pinned numerically.
+
+use dmcp::core::mst::{kruskal, MstVertex};
+use dmcp::core::{PartitionConfig, Partitioner};
+use dmcp::ir::ProgramBuilder;
+use dmcp::mach::{MachineConfig, NodeId};
+
+fn star(dest: NodeId, srcs: &[NodeId]) -> u32 {
+    srcs.iter().map(|s| s.manhattan(dest)).sum()
+}
+
+fn mst_weight(vertices: &[MstVertex]) -> u32 {
+    kruskal(vertices).iter().map(|e| e.weight).sum()
+}
+
+/// Figure 3 / Figure 9: A(i) = B(i) + C(i) + D(i) + E(i).
+/// Default execution fetches everything to n_A (13 links); the MST over
+/// the operand homes plus the store node costs 8.
+#[test]
+fn figure_9_single_statement_13_to_8() {
+    let a = NodeId::new(0, 0);
+    let b = NodeId::new(2, 0);
+    let e = NodeId::new(4, 0);
+    let d = NodeId::new(0, 3);
+    let c = NodeId::new(1, 3);
+    assert_eq!(star(a, &[b, c, d, e]), 13);
+    let vertices: Vec<_> = [a, b, c, d, e].iter().map(|&n| MstVertex::single(n)).collect();
+    assert_eq!(mst_weight(&vertices), 8);
+}
+
+/// Figure 10: A(i) = B(i) * (C(i) + D(i) + E(i)) — the level-based
+/// strategy builds the inner MST over {C,D,E} first, then treats it as a
+/// single component. Default 13 links; level-based 6 for this placement.
+#[test]
+fn figure_10_level_based_splitting() {
+    let a = NodeId::new(0, 0);
+    let b = NodeId::new(1, 0);
+    let c = NodeId::new(4, 0);
+    let d = NodeId::new(4, 1);
+    let e = NodeId::new(2, 1);
+    assert_eq!(star(a, &[b, c, d, e]), 13);
+    // Inner set {C, D, E}.
+    let inner: Vec<_> = [c, d, e].iter().map(|&n| MstVertex::single(n)).collect();
+    let inner_w = mst_weight(&inner);
+    assert_eq!(inner_w, 3); // C-D (1) + D/E best chain (2)
+    // Outer set {A, B, component}: the component is multi-located.
+    let outer = vec![
+        MstVertex::single(a),
+        MstVertex::single(b),
+        MstVertex::multi(vec![c, d, e]),
+    ];
+    let outer_w = mst_weight(&outer);
+    assert_eq!(outer_w, 3); // A-B (1) + B-to-component at E (2)
+    assert_eq!(inner_w + outer_w, 6);
+    assert!(inner_w + outer_w < 13);
+}
+
+/// Figure 11: after statement 1 schedules C(i)+D(i) on n_D, statement 2
+/// (X(i) = Y(i) + C(i)) sees C(i) replicated at n_D and its MST shrinks.
+#[test]
+fn figure_11_reuse_shrinks_second_statement() {
+    let c = NodeId::new(4, 0);
+    let d = NodeId::new(4, 4);
+    let x = NodeId::new(0, 4);
+    let y = NodeId::new(1, 3);
+    // Without reuse: MST over {X, Y, C}.
+    let without = mst_weight(&[
+        MstVertex::single(x),
+        MstVertex::single(y),
+        MstVertex::single(c),
+    ]);
+    // With reuse: C is also available at n_D (closer to X/Y than n_C).
+    let with = mst_weight(&[
+        MstVertex::single(x),
+        MstVertex::single(y),
+        MstVertex::multi(vec![c, d]),
+    ]);
+    assert!(with < without, "reuse should shrink the MST: {with} vs {without}");
+}
+
+/// Section 4.2's nested-set example: x = a*(b+c) + d*(e+f+g).
+#[test]
+fn section_4_2_nested_sets() {
+    let mut b = ProgramBuilder::new();
+    for n in ["x", "a", "bb", "c", "d", "e", "f", "g"] {
+        b.array(n, &[8], 8);
+    }
+    b.nest(
+        &[("i", 0, 8)],
+        &["x[i] = a[i] * (bb[i] + c[i]) + d[i] * (e[i] + f[i] + g[i])"],
+    )
+    .unwrap();
+    let p = b.build();
+    let g = dmcp::ir::Group::of_expr(&p.nests()[0].body[0].rhs);
+    // Additive top level with two multiplicative components, each holding
+    // one leaf and one nested additive set — the paper's
+    // (a, (b, c), d, (e, f, g)) classification with priorities kept.
+    assert_eq!(g.elems.len(), 2);
+    assert_eq!(g.depth(), 3);
+    assert_eq!(g.all_leaves().len(), 7);
+}
+
+/// The paper's default-vs-optimized contract on its running example: the
+/// planner's movement for A(i)=B(i)+C(i)+D(i)+E(i) never exceeds default
+/// execution and strictly beats it overall on a warm machine.
+#[test]
+fn running_example_planned_reduction() {
+    let mut b = ProgramBuilder::new();
+    for n in ["A", "B", "C", "D", "E"] {
+        b.array(n, &[512], 64);
+    }
+    b.nest(&[("t", 0, 2), ("i", 0, 512)], &["A[i] = B[i] + C[i] + D[i] + E[i]"]).unwrap();
+    let p = b.build();
+    let machine = MachineConfig::knl_like();
+    let part = Partitioner::new(&machine, &p, PartitionConfig::default());
+    let out = part.partition(&p);
+    assert!(out.movement_opt() < out.movement_default());
+    // Individual instances may pay a balance detour or suffer a cold-start
+    // misprediction, but the overwhelming majority must be at or below the
+    // default (plus the bounded spill radius).
+    let (mut good, mut total) = (0u64, 0u64);
+    for nest in &out.nests {
+        for r in &nest.stats.records {
+            total += 1;
+            if r.movement_opt <= r.movement_default + 6 {
+                good += 1;
+            }
+        }
+    }
+    assert!(
+        good as f64 >= 0.9 * total as f64,
+        "only {good}/{total} instances at or below default"
+    );
+}

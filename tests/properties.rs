@@ -1,0 +1,228 @@
+//! Property-based tests over the core data structures and invariants.
+
+use dmcp::core::mst::{kruskal, vertex_distance, MstVertex};
+use dmcp::core::sync::{reaches, transitive_reduce};
+use dmcp::core::unionfind::UnionFind;
+use dmcp::ir::nested::Group;
+use dmcp::ir::{BinOp, Expr};
+use dmcp::mach::{routing, NodeId};
+use dmcp::mem::{Cache, LineAddr};
+use proptest::prelude::*;
+
+fn node_strategy() -> impl Strategy<Value = NodeId> {
+    (0u16..8, 0u16..8).prop_map(|(x, y)| NodeId::new(x, y))
+}
+
+/// Reference MST via Prim's algorithm.
+fn prim_weight(vertices: &[MstVertex]) -> u32 {
+    let n = vertices.len();
+    if n < 2 {
+        return 0;
+    }
+    let mut in_tree = vec![false; n];
+    in_tree[0] = true;
+    let mut total = 0;
+    for _ in 1..n {
+        let mut best = (u32::MAX, 0);
+        for a in 0..n {
+            if !in_tree[a] {
+                continue;
+            }
+            for b in 0..n {
+                if in_tree[b] {
+                    continue;
+                }
+                let (d, _, _) = vertex_distance(&vertices[a], &vertices[b]);
+                if d < best.0 {
+                    best = (d, b);
+                }
+            }
+        }
+        in_tree[best.1] = true;
+        total += best.0;
+    }
+    total
+}
+
+proptest! {
+    /// Kruskal and Prim agree on the MST weight for any vertex set.
+    #[test]
+    fn kruskal_matches_prim(nodes in proptest::collection::vec(node_strategy(), 2..10)) {
+        let vs: Vec<MstVertex> = nodes.into_iter().map(MstVertex::single).collect();
+        let k: u32 = kruskal(&vs).iter().map(|e| e.weight).sum();
+        prop_assert_eq!(k, prim_weight(&vs));
+    }
+
+    /// The MST never costs more than the default star (fetch everything to
+    /// the first vertex) — the paper's core claim in Section 3.2.
+    #[test]
+    fn mst_never_beats_star(nodes in proptest::collection::vec(node_strategy(), 2..10)) {
+        let star: u32 = nodes[1..].iter().map(|n| n.manhattan(nodes[0])).sum();
+        let vs: Vec<MstVertex> = nodes.into_iter().map(MstVertex::single).collect();
+        let mst: u32 = kruskal(&vs).iter().map(|e| e.weight).sum();
+        prop_assert!(mst <= star);
+    }
+
+    /// Adding replica locations to a vertex can only shrink the MST.
+    #[test]
+    fn replicas_never_hurt(
+        nodes in proptest::collection::vec(node_strategy(), 3..8),
+        extra in node_strategy(),
+    ) {
+        let vs: Vec<MstVertex> = nodes.iter().copied().map(MstVertex::single).collect();
+        let before: u32 = kruskal(&vs).iter().map(|e| e.weight).sum();
+        let mut with = vs.clone();
+        with[0] = MstVertex::multi(vec![nodes[0], extra]);
+        let after: u32 = kruskal(&with).iter().map(|e| e.weight).sum();
+        prop_assert!(after <= before);
+    }
+
+    /// XY routes are always minimal and contiguous.
+    #[test]
+    fn xy_routes_are_minimal(a in node_strategy(), b in node_strategy()) {
+        let path = routing::route(a, b);
+        prop_assert_eq!(path.len(), a.manhattan(b));
+        let mut cur = a;
+        for link in &path {
+            prop_assert_eq!(link.src(), cur);
+            prop_assert!(link.src().is_adjacent(link.dst()));
+            cur = link.dst();
+        }
+        prop_assert_eq!(cur, b);
+    }
+
+    /// Union-find: after a sequence of unions, connectivity matches a naive
+    /// label-propagation reference.
+    #[test]
+    fn unionfind_matches_reference(
+        pairs in proptest::collection::vec((0usize..12, 0usize..12), 0..30)
+    ) {
+        let mut uf = UnionFind::new(12);
+        let mut labels: Vec<usize> = (0..12).collect();
+        for &(a, b) in &pairs {
+            uf.union(a, b);
+            let (la, lb) = (labels[a], labels[b]);
+            if la != lb {
+                for l in labels.iter_mut() {
+                    if *l == lb { *l = la; }
+                }
+            }
+        }
+        for a in 0..12 {
+            for b in 0..12 {
+                prop_assert_eq!(uf.connected(a, b), labels[a] == labels[b]);
+            }
+        }
+    }
+
+    /// Transitive reduction preserves reachability and never adds arcs.
+    #[test]
+    fn reduction_preserves_reachability(
+        raw in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..6), 1..14)
+    ) {
+        // Build a random DAG: node i gets predecessors (byte % i).
+        let preds: Vec<Vec<usize>> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, bytes)| {
+                if i == 0 { return Vec::new(); }
+                bytes.iter().map(|&b| (b as usize) % i).collect()
+            })
+            .collect();
+        let (reduced, removed) = transitive_reduce(&preds);
+        let before: usize = preds.iter().map(Vec::len).sum();
+        let after: usize = reduced.iter().map(Vec::len).sum();
+        prop_assert!(after + (removed as usize) <= before);
+        for b in 0..preds.len() {
+            for a in 0..b {
+                prop_assert_eq!(reaches(&preds, a, b), reaches(&reduced, a, b));
+            }
+        }
+    }
+
+    /// The LRU cache agrees with a simple reference model.
+    #[test]
+    fn cache_matches_reference_lru(
+        accesses in proptest::collection::vec(0u64..32, 1..200)
+    ) {
+        let mut cache = Cache::new(4, 2);
+        // Reference: per set, most-recent-last vector capped at 2.
+        let mut sets: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        for &line in &accesses {
+            let outcome = cache.access(LineAddr::new(line));
+            let set = &mut sets[(line % 4) as usize];
+            let expect_hit = set.contains(&line);
+            prop_assert_eq!(!outcome.is_miss(), expect_hit);
+            set.retain(|&l| l != line);
+            set.push(line);
+            if set.len() > 2 {
+                set.remove(0);
+            }
+        }
+    }
+}
+
+/// Random expression trees for the nested-set property.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (1u32..9).prop_map(|v| Expr::Const(v as f64)),
+        (0usize..4).prop_map(|a| {
+            Expr::Ref(dmcp::ir::ArrayRef::affine(
+                dmcp::ir::ArrayId::from_index(a),
+                vec![dmcp::ir::access::AffineExpr::constant(0)],
+            ))
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Div),
+                Just(BinOp::And),
+                Just(BinOp::Or),
+                Just(BinOp::Xor),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| Expr::bin(op, l, r))
+    })
+}
+
+/// Direct recursive evaluation, flagging near-zero divisors (where
+/// reordering would be numerically unstable).
+fn eval_direct(e: &Expr, vals: &[f64], unstable: &mut bool) -> f64 {
+    match e {
+        Expr::Const(v) => *v,
+        Expr::Ref(r) => vals[r.array.index()],
+        Expr::Bin { op, lhs, rhs } => {
+            let a = eval_direct(lhs, vals, unstable);
+            let b = eval_direct(rhs, vals, unstable);
+            if *op == BinOp::Div && b.abs() < 1e-6 {
+                *unstable = true;
+            }
+            op.apply(a, b)
+        }
+    }
+}
+
+proptest! {
+    /// The nested-set normalisation (with sign/inverse flags) evaluates to
+    /// the same value as the raw expression tree — reordering is sound.
+    #[test]
+    fn nested_sets_preserve_semantics(e in expr_strategy()) {
+        let vals = [3.0, 5.0, 7.0, 11.0];
+        let mut unstable = false;
+        let want = eval_direct(&e, &vals, &mut unstable);
+        prop_assume!(!unstable && want.is_finite() && want.abs() < 1e12);
+        let group = Group::of_expr(&e);
+        let got = group.eval(&mut |r| vals[r.array.index()]);
+        let scale = want.abs().max(1.0);
+        prop_assert!(
+            (got - want).abs() <= 1e-9 * scale,
+            "group {got} vs direct {want} for {e:?}"
+        );
+    }
+}
