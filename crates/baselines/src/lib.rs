@@ -77,9 +77,7 @@ pub fn locality_assignment(
         chunk_owner[chunk] = nodes[best];
     }
 
-    (0..iters)
-        .map(|i| chunk_owner[(i / chunk_size) as usize])
-        .collect()
+    (0..iters).map(|i| chunk_owner[(i / chunk_size) as usize]).collect()
 }
 
 /// Computes the profile-based page→controller overrides of Figure 23:

@@ -1,12 +1,12 @@
 //! Micro-benches of the compiler front-end: lexing, parsing, nested-set
 //! extraction, dependence analysis and loop unrolling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dmcp::ir::deps::analyze;
 use dmcp::ir::nested::Group;
 use dmcp::ir::parser::{parse_statement, ParseCtx};
 use dmcp::ir::transform::unroll;
 use dmcp::ir::{ArrayId, ProgramBuilder};
+use dmcp_bench::timing::bench;
 use std::hint::black_box;
 
 const SRC: &str = "A[i] = B[i] * (C[i] + D[i] + E[i]) - F[i] / (G[i] + 1) + H[i+1]";
@@ -20,52 +20,46 @@ fn ctx() -> ParseCtx {
     c
 }
 
-fn bench_parse(c: &mut Criterion) {
+fn bench_parse() {
     let ctx = ctx();
-    c.bench_function("parse_statement", |b| {
-        b.iter(|| parse_statement(black_box(SRC), &ctx).expect("parses"))
-    });
+    bench("parse_statement", 500, || parse_statement(black_box(SRC), &ctx).expect("parses"));
 }
 
-fn bench_nested_sets(c: &mut Criterion) {
+fn bench_nested_sets() {
     let ctx = ctx();
     let stmt = parse_statement(SRC, &ctx).unwrap();
-    c.bench_function("nested_set_extraction", |b| {
-        b.iter(|| Group::of_expr(black_box(&stmt.rhs)))
-    });
+    bench("nested_set_extraction", 500, || Group::of_expr(black_box(&stmt.rhs)));
 }
 
-fn bench_deps(c: &mut Criterion) {
+fn bench_deps() {
     let mut b = ProgramBuilder::new();
     for n in ["A", "B", "C", "D"] {
         b.array(n, &[256], 8);
     }
-    b.nest(
-        &[("i", 0, 64)],
-        &["A[i] = B[i] + C[i]", "C[i] = A[i] * 2", "D[i] = A[i+1] - C[i]"],
-    )
-    .unwrap();
+    b.nest(&[("i", 0, 64)], &["A[i] = B[i] + C[i]", "C[i] = A[i] * 2", "D[i] = A[i+1] - C[i]"])
+        .unwrap();
     let p = b.build();
     let body = &p.nests()[0].body;
-    let instances: Vec<_> = (0..16i64)
-        .flat_map(|i| body.iter().map(move |s| (s, vec![i])))
-        .collect();
-    c.bench_function("dependence_analysis_48_instances", |bch| {
-        bch.iter(|| analyze(black_box(&p), black_box(&instances), None))
+    let instances: Vec<_> =
+        (0..16i64).flat_map(|i| body.iter().map(move |s| (s, vec![i]))).collect();
+    bench("dependence_analysis_48_instances", 50, || {
+        analyze(black_box(&p), black_box(&instances), None)
     });
 }
 
-fn bench_unroll(c: &mut Criterion) {
+fn bench_unroll() {
     let mut b = ProgramBuilder::new();
     for n in ["A", "B"] {
         b.array(n, &[1024], 8);
     }
     b.nest(&[("i", 0, 1024)], &["A[i] = B[i+1] + B[i] * 3"]).unwrap();
     let p = b.build();
-    c.bench_function("unroll_by_8", |bch| {
-        bch.iter(|| unroll(black_box(&p.nests()[0]), 8))
-    });
+    bench("unroll_by_8", 50, || unroll(black_box(&p.nests()[0]), 8));
 }
 
-criterion_group!(benches, bench_parse, bench_nested_sets, bench_deps, bench_unroll);
-criterion_main!(benches);
+fn main() {
+    bench_parse();
+    bench_nested_sets();
+    bench_deps();
+    bench_unroll();
+}

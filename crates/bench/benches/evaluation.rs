@@ -1,75 +1,56 @@
-//! Criterion benches of the end-to-end evaluation pipeline — one bench per
+//! Benches of the end-to-end evaluation pipeline — one bench per
 //! table/figure family, exercising exactly the code paths the `figures`
 //! binary uses to regenerate the paper's results.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dmcp::mach::{ClusterMode, MachineConfig};
 use dmcp::mem::MemoryMode;
 use dmcp::sim::Scenario;
 use dmcp::workloads::{by_name, Scale};
-use dmcp_bench::{config_exec_time, data_mapping_comparison, evaluate, scenario_report, window_run};
+use dmcp_bench::timing::bench;
+use dmcp_bench::{
+    config_exec_time, data_mapping_comparison, evaluate, scenario_report, window_run,
+};
 use std::hint::black_box;
 
-fn bench_tables(c: &mut Criterion) {
+fn bench_tables() {
     // Tables 1-3 + Figures 13-16, 19 all come from one AppEval.
     let machine = MachineConfig::knl_like();
     let w = by_name("radix", Scale::Tiny).unwrap();
-    let mut g = c.benchmark_group("tables_and_core_figures");
-    g.sample_size(10);
-    g.bench_function("app_eval_radix", |b| b.iter(|| black_box(evaluate(&w, &machine))));
-    g.finish();
+    bench("tables/app_eval_radix", 10, || black_box(evaluate(&w, &machine)));
 }
 
-fn bench_fig17_scenarios(c: &mut Criterion) {
+fn bench_fig17_scenarios() {
     let w = by_name("lu", Scale::Tiny).unwrap();
-    let mut g = c.benchmark_group("fig17_scenarios");
-    g.sample_size(10);
     for s in [Scenario::Baseline, Scenario::Optimized, Scenario::IdealNetwork] {
-        g.bench_function(format!("{s:?}"), |b| {
-            b.iter(|| black_box(scenario_report(&w, s)))
-        });
+        bench(&format!("fig17_scenarios/{s:?}"), 10, || black_box(scenario_report(&w, s)));
     }
-    g.finish();
 }
 
-fn bench_fig20_windows(c: &mut Criterion) {
+fn bench_fig20_windows() {
     let w = by_name("cholesky", Scale::Tiny).unwrap();
-    let mut g = c.benchmark_group("fig20_windows");
-    g.sample_size(10);
     for win in [Some(1), Some(4), Some(8)] {
-        g.bench_function(format!("w{}", win.unwrap()), |b| {
-            b.iter(|| black_box(window_run(&w, win, true)))
+        bench(&format!("fig20_windows/w{}", win.unwrap()), 10, || {
+            black_box(window_run(&w, win, true))
         });
     }
-    g.finish();
 }
 
-fn bench_fig22_configs(c: &mut Criterion) {
+fn bench_fig22_configs() {
     let w = by_name("radix", Scale::Tiny).unwrap();
-    let mut g = c.benchmark_group("fig22_configs");
-    g.sample_size(10);
-    g.bench_function("snc4_cache_optimized", |b| {
-        b.iter(|| black_box(config_exec_time(&w, ClusterMode::Snc4, MemoryMode::Cache, true)))
+    bench("fig22_configs/snc4_cache_optimized", 10, || {
+        black_box(config_exec_time(&w, ClusterMode::Snc4, MemoryMode::Cache, true))
     });
-    g.finish();
 }
 
-fn bench_fig23_datamap(c: &mut Criterion) {
+fn bench_fig23_datamap() {
     let w = by_name("lu", Scale::Tiny).unwrap();
-    let mut g = c.benchmark_group("fig23_datamap");
-    g.sample_size(10);
-    g.bench_function("three_scheme_comparison", |b| {
-        b.iter(|| black_box(data_mapping_comparison(&w)))
-    });
-    g.finish();
+    bench("fig23_datamap/three_scheme_comparison", 10, || black_box(data_mapping_comparison(&w)));
 }
 
-criterion_group!(
-    benches,
-    bench_tables,
-    bench_fig17_scenarios,
-    bench_fig20_windows,
-    bench_fig22_configs,
-    bench_fig23_datamap
-);
-criterion_main!(benches);
+fn main() {
+    bench_tables();
+    bench_fig17_scenarios();
+    bench_fig20_windows();
+    bench_fig22_configs();
+    bench_fig23_datamap();
+}

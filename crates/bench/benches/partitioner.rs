@@ -1,73 +1,58 @@
-//! Criterion benches for the compiler side: MST construction, statement
-//! planning, window-size search and full-nest partitioning.
+//! Benches for the compiler side: MST construction, statement planning,
+//! window-size search and full-nest partitioning.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmcp::core::mst::{kruskal, MstVertex};
 use dmcp::core::sync::transitive_reduce;
 use dmcp::core::{PartitionConfig, Partitioner};
 use dmcp::mach::{MachineConfig, NodeId};
 use dmcp::workloads::{by_name, Scale};
+use dmcp_bench::timing::bench;
 use std::hint::black_box;
 
-fn bench_kruskal(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kruskal");
+fn bench_kruskal() {
     for n in [4usize, 8, 16, 32] {
         let vertices: Vec<MstVertex> = (0..n)
             .map(|i| MstVertex::single(NodeId::new((i * 7 % 6) as u16, (i * 5 % 6) as u16)))
             .collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &vertices, |b, vs| {
-            b.iter(|| kruskal(black_box(vs)))
-        });
+        bench(&format!("kruskal/{n}"), 200, || kruskal(black_box(&vertices)));
     }
-    g.finish();
 }
 
-fn bench_transitive_reduce(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transitive_reduce");
+fn bench_transitive_reduce() {
     for n in [32usize, 128, 512] {
-        let preds: Vec<Vec<usize>> = (0..n)
-            .map(|i| (0..i).filter(|k| (i + k) % 7 == 0).collect())
-            .collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &preds, |b, p| {
-            b.iter(|| transitive_reduce(black_box(p)))
-        });
+        let preds: Vec<Vec<usize>> =
+            (0..n).map(|i| (0..i).filter(|k| (i + k) % 7 == 0).collect()).collect();
+        bench(&format!("transitive_reduce/{n}"), 20, || transitive_reduce(black_box(&preds)));
     }
-    g.finish();
 }
 
-fn bench_partition(c: &mut Criterion) {
+fn bench_partition() {
     let machine = MachineConfig::knl_like();
-    let mut g = c.benchmark_group("partition_nest");
-    g.sample_size(10);
     for name in ["lu", "ocean", "radix"] {
         let w = by_name(name, Scale::Tiny).unwrap();
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let p = Partitioner::new(&machine, &w.program, PartitionConfig::default());
-                black_box(p.partition_with_data(&w.program, &w.data))
-            })
+        bench(&format!("partition_nest/{name}"), 10, || {
+            let p = Partitioner::new(&machine, &w.program, PartitionConfig::default());
+            black_box(p.partition_with_data(&w.program, &w.data))
         });
     }
-    g.finish();
 }
 
-fn bench_window_search(c: &mut Criterion) {
+fn bench_window_search() {
     let machine = MachineConfig::knl_like();
     let w = by_name("fft", Scale::Tiny).unwrap();
-    let mut g = c.benchmark_group("window_search");
-    g.sample_size(10);
     for fixed in [Some(1), Some(8), None] {
         let label = fixed.map_or("adaptive".to_string(), |x| format!("fixed{x}"));
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let cfg = PartitionConfig { fixed_window: fixed, ..PartitionConfig::default() };
-                let p = Partitioner::new(&machine, &w.program, cfg);
-                black_box(p.partition_with_data(&w.program, &w.data))
-            })
+        bench(&format!("window_search/{label}"), 10, || {
+            let cfg = PartitionConfig { fixed_window: fixed, ..PartitionConfig::default() };
+            let p = Partitioner::new(&machine, &w.program, cfg);
+            black_box(p.partition_with_data(&w.program, &w.data))
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_kruskal, bench_transitive_reduce, bench_partition, bench_window_search);
-criterion_main!(benches);
+fn main() {
+    bench_kruskal();
+    bench_transitive_reduce();
+    bench_partition();
+    bench_window_search();
+}

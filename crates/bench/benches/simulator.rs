@@ -1,61 +1,53 @@
-//! Criterion benches for the simulator: cache accesses, network transfers
-//! and full schedule execution.
+//! Benches for the simulator: cache accesses, network transfers and full
+//! schedule execution.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dmcp::core::{PartitionConfig, Partitioner};
 use dmcp::mach::{LatencyModel, MachineConfig, NodeId};
 use dmcp::mem::{Cache, LineAddr, MemoryMode};
 use dmcp::sim::{run_schedules, CacheSystem, Network, SimOptions};
 use dmcp::workloads::{by_name, Scale};
+use dmcp_bench::timing::bench;
 use std::hint::black_box;
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache_access_stream", |b| {
-        let mut cache = Cache::new(64, 8);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i * 1103515245 + 12345) % 4096;
-            black_box(cache.access(LineAddr::new(i)))
-        })
+fn bench_cache() {
+    let mut cache = Cache::new(64, 8);
+    let mut i = 0u64;
+    bench("cache_access_stream", 5000, || {
+        i = (i * 1103515245 + 12345) % 4096;
+        black_box(cache.access(LineAddr::new(i)))
     });
-    c.bench_function("cachesystem_read", |b| {
-        let machine = MachineConfig::knl_like();
-        let mut sys = CacheSystem::new(&machine, MemoryMode::Flat);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i * 6364136223846793005 + 1) % 8192;
-            black_box(sys.read(NodeId::new(0, 0), LineAddr::new(i), NodeId::new(3, 3), false))
-        })
-    });
-}
-
-fn bench_network(c: &mut Criterion) {
-    c.bench_function("network_transfer", |b| {
-        let mut net = Network::new(LatencyModel::default());
-        let mut i = 0u16;
-        b.iter(|| {
-            i = (i + 1) % 36;
-            black_box(net.transfer(NodeId::new(i % 6, i / 6), NodeId::new(5 - i % 6, 5 - i / 6)))
-        })
-    });
-}
-
-fn bench_engine(c: &mut Criterion) {
     let machine = MachineConfig::knl_like();
-    let mut g = c.benchmark_group("simulate");
-    g.sample_size(10);
+    let mut sys = CacheSystem::new(&machine, MemoryMode::Flat);
+    let mut j = 0u64;
+    bench("cachesystem_read", 5000, || {
+        j = (j * 6364136223846793005 + 1) % 8192;
+        black_box(sys.read(NodeId::new(0, 0), LineAddr::new(j), NodeId::new(3, 3), false))
+    });
+}
+
+fn bench_network() {
+    let mut net = Network::new(LatencyModel::default());
+    let mut i = 0u16;
+    bench("network_transfer", 5000, || {
+        i = (i + 1) % 36;
+        black_box(net.transfer(NodeId::new(i % 6, i / 6), NodeId::new(5 - i % 6, 5 - i / 6)))
+    });
+}
+
+fn bench_engine() {
+    let machine = MachineConfig::knl_like();
     for name in ["lu", "water"] {
         let w = by_name(name, Scale::Tiny).unwrap();
         let part = Partitioner::new(&machine, &w.program, PartitionConfig::default());
         let out = part.partition_with_data(&w.program, &w.data);
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(run_schedules(&w.program, part.layout(), &out, SimOptions::default()))
-            })
+        bench(&format!("simulate/{name}"), 10, || {
+            black_box(run_schedules(&w.program, part.layout(), &out, SimOptions::default()))
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_network, bench_engine);
-criterion_main!(benches);
+fn main() {
+    bench_cache();
+    bench_network();
+    bench_engine();
+}

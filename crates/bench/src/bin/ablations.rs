@@ -20,11 +20,8 @@ use dmcp::sim::{run_schedules, SimOptions};
 use dmcp::workloads::{all, Scale, Workload};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--scale-tiny") {
-        Scale::Tiny
-    } else {
-        Scale::Small
-    };
+    let scale =
+        if std::env::args().any(|a| a == "--scale-tiny") { Scale::Tiny } else { Scale::Small };
     reuse_ablation(scale);
     balance_ablation(scale);
     page_policy_ablation(scale);
@@ -110,11 +107,8 @@ fn sync_reduction_stats(scale: Scale) {
         let out = part.partition_with_data(&w.program, &w.data);
         let before: u64 = out.nests.iter().map(|n| n.stats.syncs_before).sum();
         let after: u64 = out.nests.iter().map(|n| n.stats.syncs_after).sum();
-        let removed = if before == 0 {
-            0.0
-        } else {
-            100.0 * (before - after) as f64 / before as f64
-        };
+        let removed =
+            if before == 0 { 0.0 } else { 100.0 * (before - after) as f64 / before as f64 };
         println!("{:<10} {:>10} {:>10} {:>8.1}%", w.name, before, after, removed);
     }
 }

@@ -16,8 +16,8 @@ use dmcp::mem::MemoryMode;
 use dmcp::sim::Scenario;
 use dmcp::workloads::{all, meta, Scale};
 use dmcp_bench::{
-    config_exec_time, data_mapping_comparison, evaluate_suite, geomean_reduction,
-    scenario_report, window_run, AppEval,
+    config_exec_time, data_mapping_comparison, evaluate_suite, geomean_reduction, scenario_report,
+    window_run, AppEval,
 };
 
 fn main() {
@@ -89,12 +89,7 @@ fn setup(suite: &[AppEval], scale: Scale) {
     println!("(scale {scale:?}; the paper runs 661 MB–3.3 GB with 16.4–37.2 % L2 misses)");
     println!("{:<10} {:>10} {:>12} {:>10}", "app", "dataset", "L2-miss", "L1-hit");
     for (e, w) in suite.iter().zip(dmcp::workloads::all(scale)) {
-        let bytes: u64 = w
-            .program
-            .arrays()
-            .iter()
-            .map(|a| a.len() * u64::from(a.elem_size))
-            .sum();
+        let bytes: u64 = w.program.arrays().iter().map(|a| a.len() * u64::from(a.elem_size)).sum();
         println!(
             "{:<10} {:>7} KiB {:>11.1}% {:>9.1}%",
             e.name,
@@ -138,10 +133,7 @@ fn table2(suite: &[AppEval]) {
 
 fn table3(suite: &[AppEval]) {
     header("Table 3: re-mapped operation mix (add/sub | mul/div | other)");
-    println!(
-        "{:<10} {:>24} {:>24}",
-        "app", "measured", "paper"
-    );
+    println!("{:<10} {:>24} {:>24}", "app", "measured", "paper");
     for e in suite {
         let (a, m, o) = e.remapped.fractions();
         let (pa, pm, po) = e.paper.op_mix;

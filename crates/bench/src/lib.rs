@@ -1,6 +1,8 @@
-//! Evaluation harness shared by the `figures` binary and the Criterion
-//! benches: runs the 12-application suite end to end and exposes per-app
+//! Evaluation harness shared by the `figures` binary and the bench
+//! targets: runs the 12-application suite end to end and exposes per-app
 //! results for every table and figure of the paper.
+
+pub mod timing;
 
 use dmcp::baselines::{locality_assignment, preferred_mc_overrides};
 use dmcp::core::{OpMix, PartitionConfig, PartitionOutput, Partitioner, PlanOptions};

@@ -1,0 +1,62 @@
+//! Minimal timing harness for the `[[bench]]` targets.
+//!
+//! The workspace builds offline, so the bench targets use this instead of
+//! an external benchmarking crate: each target is a plain `fn main()`
+//! (`harness = false`) that times closures with [`bench`]. Numbers are
+//! wall-clock best/average over a fixed iteration count — good enough to
+//! spot order-of-magnitude regressions, not for statistical comparisons.
+
+use std::time::Instant;
+
+/// Times `f` over `iters` iterations (after one untimed warm-up call) and
+/// prints `name: best <t> avg <t>` with per-iteration times.
+pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    assert!(iters > 0, "bench needs at least one iteration");
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let dt = start.elapsed().as_secs_f64();
+        best = best.min(dt);
+        total += dt;
+    }
+    println!(
+        "{name:<40} best {:>10} avg {:>10}  ({iters} iters)",
+        format_secs(best),
+        format_secs(total / f64::from(iters)),
+    );
+}
+
+fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_across_magnitudes() {
+        assert_eq!(format_secs(2.5), "2.500 s");
+        assert_eq!(format_secs(0.002), "2.000 ms");
+        assert_eq!(format_secs(3.5e-6), "3.500 us");
+        assert_eq!(format_secs(4.2e-8), "42.0 ns");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0;
+        bench("noop", 3, || calls += 1);
+        assert_eq!(calls, 4); // warm-up + 3 timed
+    }
+}

@@ -50,14 +50,10 @@ impl LoadTracker {
         let max_other = if own < self.max_load {
             self.max_load
         } else {
-            self.loads
-                .iter()
-                .filter(|(&n, _)| n != node)
-                .map(|(_, &l)| l)
-                .fold(0.0, f64::max)
+            self.loads.iter().filter(|(&n, _)| n != node).map(|(_, &l)| l).fold(0.0, f64::max)
         };
-        own + cost > (1.0 + self.threshold) * max_other + f64::EPSILON
-            && own > 0.0 // an idle node can always accept work
+        own + cost > (1.0 + self.threshold) * max_other + f64::EPSILON && own > 0.0
+        // an idle node can always accept work
     }
 
     /// Chooses the first candidate that doesn't overload; if all would
@@ -69,22 +65,18 @@ impl LoadTracker {
     /// Panics if `candidates` is empty.
     pub fn select(&self, candidates: &[NodeId], cost: f64) -> NodeId {
         assert!(!candidates.is_empty(), "need at least one candidate node");
-        candidates
-            .iter()
-            .copied()
-            .find(|&n| !self.would_overload(n, cost))
-            .unwrap_or_else(|| {
-                candidates
-                    .iter()
-                    .copied()
-                    .min_by(|a, b| {
-                        self.load(*a)
-                            .partial_cmp(&self.load(*b))
-                            .expect("loads are finite")
-                            .then(a.cmp(b))
-                    })
-                    .expect("non-empty candidates")
-            })
+        candidates.iter().copied().find(|&n| !self.would_overload(n, cost)).unwrap_or_else(|| {
+            candidates
+                .iter()
+                .copied()
+                .min_by(|a, b| {
+                    self.load(*a)
+                        .partial_cmp(&self.load(*b))
+                        .expect("loads are finite")
+                        .then(a.cmp(b))
+                })
+                .expect("non-empty candidates")
+        })
     }
 
     /// [`LoadTracker::select`] followed by recording the cost.

@@ -36,23 +36,17 @@ pub fn explain_instance(
                 let src = match i.operand {
                     Operand::Const(v) => format!("{v}"),
                     Operand::Temp(t) => format!("t{}", t.0),
-                    Operand::Elem(e) => format!(
-                        "{}[{}]@{}",
-                        program.array(e.array).name,
-                        e.elem,
-                        e.believed
-                    ),
+                    Operand::Elem(e) => {
+                        format!("{}[{}]@{}", program.array(e.array).name, e.elem, e.believed)
+                    }
                 };
                 format!("{} {}", i.op, src)
             })
             .collect();
         let store = match &s.store {
-            Some(st) => format!(
-                " => {}[{}] home {}",
-                program.array(st.array).name,
-                st.elem,
-                st.home
-            ),
+            Some(st) => {
+                format!(" => {}[{}] home {}", program.array(st.array).name, st.elem, st.home)
+            }
             None => format!(" => t{}", s.id.0),
         };
         let waits = if s.waits.is_empty() {

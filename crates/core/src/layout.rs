@@ -10,7 +10,7 @@
 //! search and the simulator ask questions — everything stays reproducible.
 
 use dmcp_ir::{ArrayId, Program};
-use dmcp_mach::{MachineConfig, NodeId};
+use dmcp_mach::{FaultState, MachineConfig, NodeId};
 use dmcp_mem::page::{PagePolicy, PageTable};
 use dmcp_mem::{AddressMap, LineAddr, PhysAddr, Snuca, VirtAddr};
 use std::collections::HashMap;
@@ -28,6 +28,18 @@ pub struct ElemInfo {
     pub hot: bool,
 }
 
+/// The degraded-mode view of the mesh: which nodes survive and where dead
+/// banks' data is re-homed. Installed by [`Layout::apply_faults`]; absent on
+/// a healthy machine, keeping the healthy paths bit-identical.
+#[derive(Clone, Debug)]
+struct DegradedView {
+    /// Usable nodes, row-major. Never empty.
+    live: Vec<NodeId>,
+    /// Unusable node → nearest usable node (re-homing rule for pages whose
+    /// home bank or controller died).
+    rehome: HashMap<NodeId, NodeId>,
+}
+
 /// The machine-wide memory layout: VA→PA→(home bank, controller).
 #[derive(Clone, Debug)]
 pub struct Layout {
@@ -38,6 +50,8 @@ pub struct Layout {
     /// Page→controller overrides installed by the profile-based data-to-MC
     /// mapping scheme (paper Section 6.5 / Figure 23).
     mc_override: HashMap<u64, NodeId>,
+    /// Fault-induced re-homing; `None` on a healthy machine.
+    degraded: Option<DegradedView>,
 }
 
 impl Layout {
@@ -57,7 +71,64 @@ impl Layout {
             pages.translate(VirtAddr::new(decl.base_va + bytes.saturating_sub(1)));
         }
         let snuca = Snuca::new(machine.mesh, machine.cluster, map);
-        Self { machine: machine.clone(), map, pages, snuca, mc_override: HashMap::new() }
+        Self {
+            machine: machine.clone(),
+            map,
+            pages,
+            snuca,
+            mc_override: HashMap::new(),
+            degraded: None,
+        }
+    }
+
+    /// Installs a degraded-mode view: every page homed on a node the faults
+    /// made unusable is re-homed to its nearest usable node, and
+    /// [`Layout::is_live`] starts reporting unusable nodes as dead so the
+    /// partitioner excludes them from every placement decision.
+    ///
+    /// A trivial (empty) fault state is a no-op — the layout stays on its
+    /// healthy code paths and answers are bit-identical to before.
+    pub fn apply_faults(&mut self, faults: &FaultState) {
+        if faults.is_trivial() {
+            self.degraded = None;
+            return;
+        }
+        let rehome: HashMap<NodeId, NodeId> = self
+            .machine
+            .mesh
+            .nodes()
+            .filter(|&n| !faults.is_usable(n))
+            .map(|n| (n, faults.nearest_live(n)))
+            .collect();
+        self.degraded = Some(DegradedView { live: faults.live_nodes().to_vec(), rehome });
+    }
+
+    /// `true` when a degraded-mode view is installed.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// `true` if `node` is usable for computation and data under the
+    /// installed fault view (always `true` on a healthy machine).
+    pub fn is_live(&self, node: NodeId) -> bool {
+        match &self.degraded {
+            None => true,
+            Some(d) => !d.rehome.contains_key(&node),
+        }
+    }
+
+    /// The usable nodes in row-major order, or `None` on a healthy machine
+    /// (meaning: all of them).
+    pub fn live_nodes(&self) -> Option<&[NodeId]> {
+        self.degraded.as_ref().map(|d| d.live.as_slice())
+    }
+
+    /// Applies the fault re-homing rule to a home/controller node.
+    fn rehomed(&self, node: NodeId) -> NodeId {
+        match &self.degraded {
+            None => node,
+            Some(d) => d.rehome.get(&node).copied().unwrap_or(node),
+        }
     }
 
     /// The machine this layout belongs to.
@@ -78,9 +149,7 @@ impl Layout {
     /// inside declared arrays).
     pub fn phys_of(&self, program: &Program, array: ArrayId, elem: u64) -> PhysAddr {
         let va = program.array(array).va_of(elem);
-        self.pages
-            .lookup(VirtAddr::new(va))
-            .expect("page pre-allocated for declared arrays")
+        self.pages.lookup(VirtAddr::new(va)).expect("page pre-allocated for declared arrays")
     }
 
     /// Full location info of one array element, as seen by `requester`
@@ -94,11 +163,11 @@ impl Layout {
     ) -> ElemInfo {
         let pa = self.phys_of(program, array, elem);
         let line = self.map.line_of(pa);
-        let home = self.snuca.home_node(pa, requester);
-        let mc = match self.mc_override.get(&self.map.phys_page(pa)) {
+        let home = self.rehomed(self.snuca.home_node(pa, requester));
+        let mc = self.rehomed(match self.mc_override.get(&self.map.phys_page(pa)) {
             Some(&n) => n,
             None => self.snuca.controller_node(pa, requester),
-        };
+        });
         ElemInfo { line, home, mc, hot: program.array(array).hot }
     }
 
@@ -122,8 +191,8 @@ impl Layout {
         let real = self.locate(program, array, elem, requester);
         ElemInfo {
             line: real.line, // the *identity* of the line is always real
-            home: self.snuca.home_node(pa_guess, requester),
-            mc: self.snuca.controller_node(pa_guess, requester),
+            home: self.rehomed(self.snuca.home_node(pa_guess, requester)),
+            mc: self.rehomed(self.snuca.controller_node(pa_guess, requester)),
             hot: real.hot,
         }
     }
@@ -234,5 +303,65 @@ mod tests {
                 layout.map().channel_of_virt(VirtAddr::new(va))
             );
         }
+    }
+
+    #[test]
+    fn trivial_faults_change_nothing() {
+        let (m, p) = setup();
+        let mut layout = Layout::new(&m, &p, PagePolicy::ColorPreserving);
+        let a = dmcp_ir::ArrayId::from_index(0);
+        let req = NodeId::new(2, 1);
+        let before: Vec<_> = (0..64).map(|e| layout.locate(&p, a, e, req)).collect();
+        let faults = dmcp_mach::FaultState::new(dmcp_mach::FaultPlan::healthy(), m.mesh).unwrap();
+        layout.apply_faults(&faults);
+        assert!(!layout.is_degraded());
+        assert!(layout.live_nodes().is_none());
+        let after: Vec<_> = (0..64).map(|e| layout.locate(&p, a, e, req)).collect();
+        assert_eq!(before, after, "healthy fault state must be a strict no-op");
+    }
+
+    #[test]
+    fn dead_banks_are_rehomed_to_live_nodes() {
+        let (m, p) = setup();
+        let mut layout = Layout::new(&m, &p, PagePolicy::ColorPreserving);
+        let a = dmcp_ir::ArrayId::from_index(0);
+        let req = NodeId::new(0, 0);
+        let mut plan = dmcp_mach::FaultPlan::healthy();
+        // Kill a node that certainly homes some lines (homes cover >= 30
+        // of 36 banks for this array).
+        let victim = NodeId::new(3, 3);
+        plan.kill_node(victim);
+        let faults = dmcp_mach::FaultState::new(plan, m.mesh).unwrap();
+        layout.apply_faults(&faults);
+        assert!(layout.is_degraded());
+        assert!(!layout.is_live(victim));
+        assert_eq!(layout.live_nodes().unwrap().len(), 35);
+        for e in 0..512 {
+            let info = layout.locate(&p, a, e, req);
+            assert!(layout.is_live(info.home), "element {e} homed on dead node");
+            assert!(layout.is_live(info.mc), "element {e} serviced by dead MC");
+            let believed = layout.believed(&p, a, e, req);
+            assert!(layout.is_live(believed.home));
+            assert!(layout.is_live(believed.mc));
+        }
+    }
+
+    #[test]
+    fn rehoming_moves_to_the_nearest_live_node() {
+        let (m, p) = setup();
+        let mut layout = Layout::new(&m, &p, PagePolicy::ColorPreserving);
+        let a = dmcp_ir::ArrayId::from_index(0);
+        let req = NodeId::new(0, 0);
+        // Find an element homed on the victim before faults.
+        let victim = NodeId::new(3, 3);
+        let elem = (0..512)
+            .find(|&e| layout.locate(&p, a, e, req).home == victim)
+            .expect("some element homes on (3,3)");
+        let mut plan = dmcp_mach::FaultPlan::healthy();
+        plan.kill_node(victim);
+        let faults = dmcp_mach::FaultState::new(plan, m.mesh).unwrap();
+        layout.apply_faults(&faults);
+        let new_home = layout.locate(&p, a, elem, req).home;
+        assert_eq!(victim.manhattan(new_home), 1, "re-home must be the nearest live node");
     }
 }

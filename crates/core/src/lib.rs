@@ -41,6 +41,7 @@
 //! ```
 
 pub mod balance;
+pub mod error;
 pub mod explain;
 pub mod l1model;
 pub mod layout;
@@ -53,9 +54,11 @@ pub mod sync;
 pub mod unionfind;
 pub mod window;
 
+pub use error::PartitionError;
 pub use layout::{ElemInfo, Layout};
 pub use partitioner::{
-    chunked_assignment, NestPartition, PartitionConfig, PartitionOutput, Partitioner,
+    chunked_assignment, chunked_assignment_over, NestPartition, PartitionConfig, PartitionOutput,
+    Partitioner,
 };
 pub use split::{HitPredictor, PlanOptions, Planner};
 pub use stats::{OpMix, StmtRecord};

@@ -173,10 +173,7 @@ impl RootedTree {
                 }
             }
         }
-        assert!(
-            visited.iter().all(|&v| v),
-            "MST edges do not span all vertices"
-        );
+        assert!(visited.iter().all(|&v| v), "MST edges do not span all vertices");
         Self { parent, children, postorder }
     }
 

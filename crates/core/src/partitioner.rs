@@ -6,12 +6,13 @@
 //! best size, and then plans the entire nest with it. The result is one
 //! [`Schedule`] per nest plus all the statistics the evaluation needs.
 
+use crate::error::PartitionError;
 use crate::layout::Layout;
 use crate::split::{HitPredictor, PlanOptions};
 use crate::step::Schedule;
 use crate::window::{plan_nest, NestPlan, NestStats};
 use dmcp_ir::program::{DataStore, Program};
-use dmcp_mach::{MachineConfig, Mesh, NodeId};
+use dmcp_mach::{FaultState, MachineConfig, Mesh, NodeId};
 use dmcp_mem::page::PagePolicy;
 use dmcp_mem::{Cache, MissPredictor};
 
@@ -81,6 +82,30 @@ impl Default for PartitionConfig {
     }
 }
 
+impl PartitionConfig {
+    /// Checks the configuration for values the planning layer would
+    /// otherwise assert on.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::InvalidConfig`] for a zero window bound, a zero
+    /// fixed window, or an empty explicit assignment.
+    pub fn validate(&self) -> Result<(), PartitionError> {
+        if self.max_window == 0 {
+            return Err(PartitionError::InvalidConfig("max_window must be >= 1".into()));
+        }
+        if self.fixed_window == Some(0) {
+            return Err(PartitionError::InvalidConfig("fixed_window must be >= 1".into()));
+        }
+        if matches!(&self.assignment, Some(a) if a.is_empty()) {
+            return Err(PartitionError::InvalidConfig(
+                "explicit assignment must be non-empty".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// One partitioned nest.
 #[derive(Clone, Debug, PartialEq)]
 pub struct NestPartition {
@@ -130,10 +155,7 @@ impl PartitionOutput {
 
     /// Maximum per-instance movement reduction.
     pub fn max_movement_reduction(&self) -> f64 {
-        self.nests
-            .iter()
-            .map(|n| n.stats.max_movement_reduction())
-            .fold(0.0, f64::max)
+        self.nests.iter().map(|n| n.stats.max_movement_reduction()).fold(0.0, f64::max)
     }
 
     /// Mean degree of subcomputation parallelism.
@@ -197,6 +219,38 @@ impl Partitioner {
         Self { machine: machine.clone(), layout, config }
     }
 
+    /// Creates a partitioner for a *degraded* machine: the fault state is
+    /// folded into the layout (dead banks re-homed to their nearest live
+    /// node) and every placement decision — candidate filtering, default
+    /// chunked assignment, load balancing — is restricted to live nodes.
+    ///
+    /// With a trivial fault state this is exactly [`Partitioner::new`]
+    /// (plus config validation) and produces bit-identical output.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::InvalidConfig`] for configurations the planner
+    /// would assert on, and [`PartitionError::DeadAssignment`] when an
+    /// explicit assignment names a node the faults made unusable.
+    pub fn new_degraded(
+        machine: &MachineConfig,
+        program: &Program,
+        config: PartitionConfig,
+        faults: &FaultState,
+    ) -> Result<Self, PartitionError> {
+        config.validate()?;
+        if let Some(assignment) = &config.assignment {
+            if let Some(&dead) =
+                assignment.iter().find(|&&n| !faults.is_trivial() && !faults.is_usable(n))
+            {
+                return Err(PartitionError::DeadAssignment(dead));
+            }
+        }
+        let mut this = Self::new(machine, program, config);
+        this.layout.apply_faults(faults);
+        Ok(this)
+    }
+
     /// The memory layout in use (shared with the simulator so both sides
     /// agree on addresses).
     pub fn layout(&self) -> &Layout {
@@ -245,6 +299,58 @@ impl Partitioner {
         PartitionOutput { nests }
     }
 
+    /// [`Partitioner::partition`] with validation instead of trust: checks
+    /// the configuration up front and verifies afterwards that every
+    /// emitted step executes on a live node — the invariant degraded-mode
+    /// scheduling must uphold.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::InvalidConfig`] or
+    /// [`PartitionError::DeadNodeInSchedule`].
+    pub fn try_partition(&self, program: &Program) -> Result<PartitionOutput, PartitionError> {
+        self.config.validate()?;
+        let out = self.partition(program);
+        self.check_live(&out)?;
+        Ok(out)
+    }
+
+    /// [`Partitioner::baseline`] with the same validation as
+    /// [`Partitioner::try_partition`].
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::InvalidConfig`] or
+    /// [`PartitionError::DeadNodeInSchedule`].
+    pub fn try_baseline(
+        &self,
+        program: &Program,
+        data: &DataStore,
+    ) -> Result<PartitionOutput, PartitionError> {
+        self.config.validate()?;
+        let out = self.baseline(program, data);
+        self.check_live(&out)?;
+        Ok(out)
+    }
+
+    /// Verifies the every-step-on-a-live-node invariant.
+    fn check_live(&self, out: &PartitionOutput) -> Result<(), PartitionError> {
+        if !self.layout.is_degraded() {
+            return Ok(());
+        }
+        for nest in &out.nests {
+            for step in &nest.schedule.steps {
+                if !self.layout.is_live(step.node) {
+                    return Err(PartitionError::DeadNodeInSchedule {
+                        nest: nest.nest,
+                        node: step.node,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn partition_nest(
         &self,
         program: &Program,
@@ -256,7 +362,10 @@ impl Partitioner {
         let iters = nest.iteration_count();
         let assignment = match &self.config.assignment {
             Some(a) => a.clone(),
-            None => chunked_assignment(self.machine.mesh, iters),
+            None => match self.layout.live_nodes() {
+                None => chunked_assignment(self.machine.mesh, iters),
+                Some(live) => chunked_assignment_over(live, iters),
+            },
         };
         let window = if force_default {
             1
@@ -286,11 +395,8 @@ impl Partitioner {
         // unrepresentative of steady state.
         let skip = stats.records.len() / 2;
         let warm_opt: u64 = stats.records[skip..].iter().map(|r| r.movement_opt).sum();
-        let warm_def: u64 =
-            stats.records[skip..].iter().map(|r| r.movement_default).sum();
-        if !force_default
-            && warm_opt as f64 > self.config.opts.split_threshold * warm_def as f64
-        {
+        let warm_def: u64 = stats.records[skip..].iter().map(|r| r.movement_default).sum();
+        if !force_default && warm_opt as f64 > self.config.opts.split_threshold * warm_def as f64 {
             let NestPlan { schedule, stats: mut dstats } = plan_nest(
                 program,
                 nest_index,
@@ -337,8 +443,7 @@ impl Partitioner {
             // sweep (everything predicted to miss) is unrepresentative of
             // the steady state the chosen window will mostly run in.
             let skip = trial.stats.records.len() / 2;
-            let movement: u64 =
-                trial.stats.records[skip..].iter().map(|r| r.movement_opt).sum();
+            let movement: u64 = trial.stats.records[skip..].iter().map(|r| r.movement_opt).sum();
             if movement < best.0 {
                 best = (movement, w);
             }
@@ -352,13 +457,23 @@ impl Partitioner {
 /// row-major node order). Returns one entry per iteration.
 pub fn chunked_assignment(mesh: Mesh, iterations: u64) -> Vec<NodeId> {
     let nodes: Vec<NodeId> = mesh.nodes().collect();
+    chunked_assignment_over(&nodes, iterations)
+}
+
+/// [`chunked_assignment`] over an explicit node list — the degraded-mode
+/// variant, where dead nodes have been filtered out and the survivors
+/// split the iteration space among themselves.
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty.
+pub fn chunked_assignment_over(nodes: &[NodeId], iterations: u64) -> Vec<NodeId> {
+    assert!(!nodes.is_empty(), "assignment needs at least one node");
     if iterations == 0 {
         return vec![nodes[0]];
     }
     let chunk = iterations.div_ceil(nodes.len() as u64).max(1);
-    (0..iterations)
-        .map(|i| nodes[((i / chunk) as usize).min(nodes.len() - 1)])
-        .collect()
+    (0..iterations).map(|i| nodes[((i / chunk) as usize).min(nodes.len() - 1)]).collect()
 }
 
 #[cfg(test)]
@@ -417,10 +532,7 @@ mod tests {
 
     #[test]
     fn partitioned_schedules_stay_correct() {
-        let p = program(
-            &["A[i] = B[i] + C[i] * (D[i] - E[i])", "X[i] = A[i] + C[i]"],
-            48,
-        );
+        let p = program(&["A[i] = B[i] + C[i] * (D[i] - E[i])", "X[i] = A[i] + C[i]"], 48);
         let machine = MachineConfig::knl_like();
         let part = Partitioner::new(&machine, &p, PartitionConfig::default());
         let out = part.partition(&p);
@@ -440,10 +552,7 @@ mod tests {
         // The adaptive pre-processing step may keep window 1 when the
         // persistent-residency model already captures the reuse, but its
         // choice must never plan more movement than the fixed window 1.
-        let p = program(
-            &["A[i] = B[i] + C[i] + D[i] + E[i]", "X[i] = Y[i] + C[i]"],
-            128,
-        );
+        let p = program(&["A[i] = B[i] + C[i] + D[i] + E[i]", "X[i] = Y[i] + C[i]"], 128);
         let machine = MachineConfig::knl_like();
         let adaptive = Partitioner::new(&machine, &p, PartitionConfig::default());
         let fixed = Partitioner::new(
@@ -496,6 +605,74 @@ mod tests {
             let mut p = spec.build(&machine);
             let _ = p.predict(dmcp_mem::LineAddr::new(1));
         }
+    }
+
+    #[test]
+    fn trivial_faults_give_bit_identical_output() {
+        let p = program(&["A[i] = B[i] + C[i] + D[i]"], 64);
+        let machine = MachineConfig::knl_like();
+        let healthy = Partitioner::new(&machine, &p, PartitionConfig::default());
+        let faults = FaultState::new(dmcp_mach::FaultPlan::healthy(), machine.mesh).unwrap();
+        let degraded =
+            Partitioner::new_degraded(&machine, &p, PartitionConfig::default(), &faults).unwrap();
+        assert_eq!(healthy.partition(&p), degraded.try_partition(&p).unwrap());
+    }
+
+    #[test]
+    fn degraded_partitioner_keeps_steps_on_live_nodes() {
+        let p = program(&["A[i] = B[i] + C[i] * (D[i] - E[i])", "X[i] = A[i] + C[i]"], 48);
+        let machine = MachineConfig::knl_like();
+        let plan = dmcp_mach::FaultPlan::random(machine.mesh, 0.10, 0.05, 0.0, 0.0, 17);
+        let faults = FaultState::new(plan, machine.mesh).unwrap();
+        let part =
+            Partitioner::new_degraded(&machine, &p, PartitionConfig::default(), &faults).unwrap();
+        let out = part.try_partition(&p).unwrap();
+        for nest in &out.nests {
+            for step in &nest.schedule.steps {
+                assert!(faults.is_usable(step.node), "step on unusable node {}", step.node);
+            }
+        }
+        // The schedule still computes the right values.
+        let mut got = p.initial_data();
+        for n in &out.nests {
+            n.schedule.validate().unwrap();
+            n.schedule.execute_values(&mut got);
+        }
+        let mut want = p.initial_data();
+        run_sequential(&p, &mut want);
+        assert!(got.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn dead_assignment_is_rejected() {
+        let p = program(&["A[i] = B[i] + 1"], 16);
+        let machine = MachineConfig::knl_like();
+        let victim = NodeId::new(2, 2);
+        let mut plan = dmcp_mach::FaultPlan::healthy();
+        plan.kill_node(victim);
+        let faults = FaultState::new(plan, machine.mesh).unwrap();
+        let cfg = PartitionConfig { assignment: Some(vec![victim]), ..PartitionConfig::default() };
+        let err = Partitioner::new_degraded(&machine, &p, cfg, &faults).unwrap_err();
+        assert_eq!(err, crate::PartitionError::DeadAssignment(victim));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = PartitionConfig { max_window: 0, ..PartitionConfig::default() };
+        assert!(matches!(bad.validate(), Err(crate::PartitionError::InvalidConfig(_))));
+        let bad = PartitionConfig { fixed_window: Some(0), ..PartitionConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = PartitionConfig { assignment: Some(vec![]), ..PartitionConfig::default() };
+        assert!(bad.validate().is_err());
+        assert!(PartitionConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn chunked_assignment_over_live_subset() {
+        let nodes: Vec<NodeId> = Mesh::new(4, 4).nodes().skip(3).collect();
+        let a = chunked_assignment_over(&nodes, 40);
+        assert_eq!(a.len(), 40);
+        assert!(a.iter().all(|n| nodes.contains(n)));
     }
 
     #[test]

@@ -81,7 +81,12 @@ pub struct PlanOptions {
 
 impl Default for PlanOptions {
     fn default() -> Self {
-        Self { reuse_aware: true, ideal_analysis: false, balance_threshold: 0.10, split_threshold: 0.75 }
+        Self {
+            reuse_aware: true,
+            ideal_analysis: false,
+            balance_threshold: 0.10,
+            split_threshold: 0.75,
+        }
     }
 }
 
@@ -112,7 +117,6 @@ pub struct Planner<'a> {
     pending_loads: Vec<(NodeId, f64)>,
 }
 
-
 /// One operand location resolved by `GetNode`.
 #[derive(Clone)]
 struct LeafInfo {
@@ -128,11 +132,20 @@ struct LeafInfo {
 
 /// A node of the (recursive) group plan.
 enum PlanNode {
-    Leaf { op: BinOp, info: LeafInfo },
-    Sub { op: BinOp, plan: GroupPlan },
+    Leaf {
+        op: BinOp,
+        info: LeafInfo,
+    },
+    Sub {
+        op: BinOp,
+        plan: GroupPlan,
+    },
     /// Constants appear as plan nodes only inside non-reorderable (shift)
     /// groups, where operand order must be preserved.
-    Const { op: BinOp, value: f64 },
+    Const {
+        op: BinOp,
+        value: f64,
+    },
 }
 
 /// A planned nested set: its vertices, MST and constants.
@@ -332,7 +345,8 @@ impl<'a> Planner<'a> {
             // requesting core, exactly as in default execution.
             assigned_core
         };
-        let elem_loc = ElemLoc { array: r.array, elem, line: info.line, believed: primary, hot: info.hot };
+        let elem_loc =
+            ElemLoc { array: r.array, elem, line: info.line, believed: primary, hot: info.hot };
         // Default execution fetches the operand to the assigned core (its
         // private L1 may already hold the line under default placement).
         let default_cost = if self.l1_default.holds(assigned_core, info.line) {
@@ -545,10 +559,7 @@ impl<'a> Planner<'a> {
                         // already happened inside that step, so the class's
                         // base operator folds it in.
                         total_movement += u64::from(e.node.manhattan(exec));
-                        inputs.push(StepInput {
-                            op: plan.class.op_for(false),
-                            operand: e.operand,
-                        });
+                        inputs.push(StepInput { op: plan.class.op_for(false), operand: e.operand });
                     }
                     None => {
                         // A tree-leaf child: fetch its element or emit its
@@ -564,9 +575,7 @@ impl<'a> Planner<'a> {
             // Constants attach to the root step of their group.
             if is_root {
                 inputs.extend(
-                    plan.consts
-                        .iter()
-                        .map(|&(op, c)| StepInput { op, operand: Operand::Const(c) }),
+                    plan.consts.iter().map(|&(op, c)| StepInput { op, operand: Operand::Const(c) }),
                 );
             }
             let id = SubId(steps.len() as u32);
@@ -581,12 +590,8 @@ impl<'a> Planner<'a> {
             };
             self.pending_loads.push((exec, step_load(&step, self.div_factor())));
             steps.push(step);
-            produced[v] = Some(Emitted {
-                operand: Operand::Temp(id),
-                node: exec,
-                movement: 0,
-                l1_hits: 0,
-            });
+            produced[v] =
+                Some(Emitted { operand: Operand::Temp(id), node: exec, movement: 0, l1_hits: 0 });
         }
 
         let root_emit = produced[root].take().expect("root emitted a step");
@@ -623,10 +628,7 @@ impl<'a> Planner<'a> {
                     .collect();
                 cands.sort();
                 cands.dedup();
-                cands
-                    .into_iter()
-                    .min_by_key(|&c| (c.manhattan(target), c))
-                    .unwrap_or(target)
+                cands.into_iter().min_by_key(|&c| (c.manhattan(target), c)).unwrap_or(target)
             }
         };
         let mut movement = 0u64;
@@ -716,8 +718,12 @@ impl<'a> Planner<'a> {
         // Ties on total cost break toward the smaller *fetch* leg: every
         // node on the data→anchor path has the same total, but near-data
         // processing wants the subcomputation at the data.
+        // Under degraded mode dead nodes are excluded outright — a step may
+        // never execute there. On a healthy machine the filter passes every
+        // node, leaving the candidate order untouched.
         let mut cands: Vec<(u32, u32, NodeId)> = mesh
             .nodes()
+            .filter(|&n| self.layout.is_live(n))
             .map(|n| {
                 let fetch = vertex
                     .locs
@@ -732,16 +738,12 @@ impl<'a> Planner<'a> {
         let best = cands[0].0;
         // Only consider detours of up to 3 extra links — beyond that the
         // movement penalty outweighs balance.
-        let list: Vec<NodeId> = cands
-            .iter()
-            .take_while(|&&(c, _, _)| c <= best + 3)
-            .map(|&(_, _, n)| n)
-            .collect();
+        let list: Vec<NodeId> =
+            cands.iter().take_while(|&&(c, _, _)| c <= best + 3).map(|&(_, _, n)| n).collect();
         let chosen = self.loads.select(&list, cost);
         self.pending_loads.push((chosen, cost));
         chosen
     }
-
 
     fn div_factor(&self) -> f64 {
         self.layout.machine().latency.div_factor
@@ -752,11 +754,7 @@ impl<'a> Planner<'a> {
 /// its operand fetches (the balance rule must see fetch-dominated reality,
 /// not just op counts).
 fn step_load(step: &Step, div_factor: f64) -> f64 {
-    let elems = step
-        .inputs
-        .iter()
-        .filter(|i| matches!(i.operand, Operand::Elem(_)))
-        .count() as f64;
+    let elems = step.inputs.iter().filter(|i| matches!(i.operand, Operand::Elem(_))).count() as f64;
     step.op_cost(div_factor) + 12.0 * elems + 4.0
 }
 
@@ -775,11 +773,8 @@ fn plan_vertex(node: &PlanNode) -> MstVertex {
     match node {
         PlanNode::Leaf { info, .. } => MstVertex::multi(info.candidates.clone()),
         PlanNode::Sub { plan, .. } => {
-            let mut locs: Vec<NodeId> = plan
-                .vertices
-                .iter()
-                .flat_map(|v| v.locs.iter().copied())
-                .collect();
+            let mut locs: Vec<NodeId> =
+                plan.vertices.iter().flat_map(|v| v.locs.iter().copied()).collect();
             locs.sort();
             locs.dedup();
             if locs.is_empty() {
@@ -827,10 +822,7 @@ mod tests {
     use dmcp_mach::MachineConfig;
     use dmcp_mem::page::PagePolicy;
 
-    fn plan_program(
-        stmts: &[&str],
-        opts: PlanOptions,
-    ) -> (Program, Schedule, Vec<StmtRecord>) {
+    fn plan_program(stmts: &[&str], opts: PlanOptions) -> (Program, Schedule, Vec<StmtRecord>) {
         let mut b = ProgramBuilder::new();
         for n in ["A", "B", "C", "D", "E", "X", "Y", "Z"] {
             b.array(n, &[64], 8);
@@ -840,8 +832,7 @@ mod tests {
         let machine = MachineConfig::knl_like();
         let layout = Layout::new(&machine, &program, PagePolicy::ColorPreserving);
         let data = program.initial_data();
-        let mut planner =
-            Planner::new(&program, &layout, &data, HitPredictor::AlwaysHit, opts);
+        let mut planner = Planner::new(&program, &layout, &data, HitPredictor::AlwaysHit, opts);
         let mesh = machine.mesh;
         let mut steps = Vec::new();
         let mut records = Vec::new();
@@ -889,8 +880,7 @@ mod tests {
         // spill pressure yet) the realized plan equals the MST, which can
         // never exceed the default star through the assigned core.
         let opts = PlanOptions { reuse_aware: false, ..PlanOptions::default() };
-        let (_, _, records) =
-            plan_program(&["A[i] = B[i] + C[i] + D[i] + E[i]"], opts);
+        let (_, _, records) = plan_program(&["A[i] = B[i] + C[i] + D[i] + E[i]"], opts);
         let first = &records[0];
         assert!(
             first.movement_opt <= first.movement_default,
@@ -902,8 +892,10 @@ mod tests {
 
     #[test]
     fn long_statements_split_into_multiple_steps() {
-        let (_, sched, records) =
-            plan_program(&["A[i] = B[i] + C[i] + D[i] + E[i] + X[i] + Y[i]"], PlanOptions::default());
+        let (_, sched, records) = plan_program(
+            &["A[i] = B[i] + C[i] + D[i] + E[i] + X[i] + Y[i]"],
+            PlanOptions::default(),
+        );
         assert!(records.iter().any(|r| r.step_count >= 2), "no statement split");
         assert!(sched.len() >= 16);
     }
@@ -974,13 +966,8 @@ mod tests {
         let machine = MachineConfig::knl_like();
         let layout = Layout::new(&machine, &program, PagePolicy::ColorPreserving);
         let data = program.initial_data();
-        let mut planner = Planner::new(
-            &program,
-            &layout,
-            &data,
-            HitPredictor::AlwaysHit,
-            PlanOptions::default(),
-        );
+        let mut planner =
+            Planner::new(&program, &layout, &data, HitPredictor::AlwaysHit, PlanOptions::default());
         let core = NodeId::new(3, 2);
         let mut steps = Vec::new();
         let stmt = &program.nests()[0].body[0];
@@ -1001,18 +988,12 @@ mod tests {
         let machine = MachineConfig::knl_like();
         let layout = Layout::new(&machine, &program, PagePolicy::ColorPreserving);
         let data = program.initial_data();
-        let mut planner = Planner::new(
-            &program,
-            &layout,
-            &data,
-            HitPredictor::AlwaysHit,
-            PlanOptions::default(),
-        );
+        let mut planner =
+            Planner::new(&program, &layout, &data, HitPredictor::AlwaysHit, PlanOptions::default());
         let core = NodeId::new(4, 4);
         let mut steps = Vec::new();
         let stmt = &program.nests()[0].body[0];
-        let rec =
-            planner.plan_statement(&mut steps, StmtTag::default(), stmt, &[1], core, true);
+        let rec = planner.plan_statement(&mut steps, StmtTag::default(), stmt, &[1], core, true);
         assert!(steps.iter().all(|s| s.node == core));
         assert_eq!(rec.movement_opt, rec.movement_default);
     }
@@ -1031,10 +1012,8 @@ mod tests {
 
     #[test]
     fn remapped_ops_counted() {
-        let (_, _, records) = plan_program(
-            &["A[i] = B[i] * C[i] + D[i] / E[i] + X[i]"],
-            PlanOptions::default(),
-        );
+        let (_, _, records) =
+            plan_program(&["A[i] = B[i] * C[i] + D[i] / E[i] + X[i]"], PlanOptions::default());
         let mut mix = OpMix::default();
         for r in &records {
             mix.merge(r.remapped);

@@ -37,11 +37,7 @@ impl OpMix {
             return (0.0, 0.0, 0.0);
         }
         let t = t as f64;
-        (
-            self.add_sub as f64 / t,
-            self.mul_div as f64 / t,
-            self.other as f64 / t,
-        )
+        (self.add_sub as f64 / t, self.mul_div as f64 / t, self.other as f64 / t)
     }
 
     /// Accumulates another mix into this one.

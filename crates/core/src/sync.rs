@@ -43,9 +43,7 @@ pub fn transitive_reduce(preds: &[Vec<usize>]) -> (Vec<Vec<usize>>, u64) {
         for &p in &ps {
             debug_assert!(p < i, "predecessor {p} of {i} not topologically earlier");
             // p is redundant if it is an ancestor of an already-kept pred.
-            let implied = kept
-                .iter()
-                .any(|&k| ancestors[k][p / 64] & (1u64 << (p % 64)) != 0);
+            let implied = kept.iter().any(|&k| ancestors[k][p / 64] & (1u64 << (p % 64)) != 0);
             if implied {
                 removed += 1;
             } else {

@@ -12,11 +12,11 @@
 //! arcs that guarantee correctness; redundant arcs are removed per window by
 //! transitive reduction ([`crate::sync`]).
 
+use crate::layout::Layout;
 use crate::split::{HitPredictor, PlanOptions, Planner};
 use crate::stats::{OpMix, StmtRecord};
 use crate::step::{Operand, Schedule, Step, StmtTag, SubId};
 use crate::sync::transitive_reduce;
-use crate::layout::Layout;
 use dmcp_ir::program::{DataStore, Program};
 use dmcp_ir::ArrayId;
 use dmcp_mach::NodeId;
@@ -151,8 +151,7 @@ pub fn plan_nest(
                 break 'outer;
             }
             let tag = StmtTag { nest: nest_index as u32, stmt: si as u32, instance };
-            let rec =
-                planner.plan_statement(&mut steps, tag, stmt, &iter, core, force_default);
+            let rec = planner.plan_statement(&mut steps, tag, stmt, &iter, core, force_default);
             deps.wire(&mut steps, rec.first_step as usize, rec.last_step as usize);
             records.push(rec);
             instance += 1;
@@ -280,11 +279,8 @@ fn reduce_window(steps: &mut [Step], first: usize) -> (u64, u64) {
                 _ => None,
             })
             .collect();
-        let mut waits: Vec<SubId> = red
-            .iter()
-            .filter(|p| !temps.contains(p))
-            .map(|&p| SubId((base + p) as u32))
-            .collect();
+        let mut waits: Vec<SubId> =
+            red.iter().filter(|p| !temps.contains(p)).map(|&p| SubId((base + p) as u32)).collect();
         waits.extend(outside[k].iter().copied());
         waits.sort_unstable();
         waits.dedup();
@@ -343,12 +339,7 @@ mod tests {
         crate::partitioner::chunked_assignment(machine.mesh, iters as u64)
     }
 
-    fn plan(
-        stmts: &[&str],
-        iters: i64,
-        window: usize,
-        opts: PlanOptions,
-    ) -> (Program, NestPlan) {
+    fn plan(stmts: &[&str], iters: i64, window: usize, opts: PlanOptions) -> (Program, NestPlan) {
         let (program, machine, layout) = setup(stmts, iters);
         let data = program.initial_data();
         let plan = plan_nest(
@@ -369,11 +360,7 @@ mod tests {
     #[test]
     fn planned_schedule_is_numerically_correct() {
         let (program, plan) = plan(
-            &[
-                "A[i] = B[i] + C[i] + D[i] + E[i]",
-                "X[i] = Y[i] + C[i]",
-                "B[i] = A[i] * 2 - X[i]",
-            ],
+            &["A[i] = B[i] + C[i] + D[i] + E[i]", "X[i] = Y[i] + C[i]", "B[i] = A[i] * 2 - X[i]"],
             32,
             4,
             PlanOptions::default(),
@@ -388,28 +375,15 @@ mod tests {
 
     #[test]
     fn flow_dependences_generate_wait_arcs() {
-        let (_, plan) = plan(
-            &["A[i] = B[i] + C[i]", "X[i] = A[i] * 2"],
-            8,
-            2,
-            PlanOptions::default(),
-        );
-        let has_wait = plan
-            .schedule
-            .steps
-            .iter()
-            .any(|s| !s.waits.is_empty());
+        let (_, plan) =
+            plan(&["A[i] = B[i] + C[i]", "X[i] = A[i] * 2"], 8, 2, PlanOptions::default());
+        let has_wait = plan.schedule.steps.iter().any(|s| !s.waits.is_empty());
         assert!(has_wait, "expected inter-statement wait arcs");
     }
 
     #[test]
     fn stencil_chain_dependences_are_wired_across_iterations() {
-        let (program, plan) = plan(
-            &["A[i] = A[i-1] + B[i]"],
-            16,
-            2,
-            PlanOptions::default(),
-        );
+        let (program, plan) = plan(&["A[i] = A[i-1] + B[i]"], 16, 2, PlanOptions::default());
         // Values must match the sequential reference despite the recurrence.
         let mut got = program.initial_data();
         plan.schedule.execute_values(&mut got);
@@ -519,12 +493,8 @@ mod tests {
 
     #[test]
     fn stats_summaries_are_sane() {
-        let (_, p) = plan(
-            &["A[i] = B[i] + C[i] + D[i] + E[i] + X[i]"],
-            32,
-            1,
-            PlanOptions::default(),
-        );
+        let (_, p) =
+            plan(&["A[i] = B[i] + C[i] + D[i] + E[i] + X[i]"], 32, 1, PlanOptions::default());
         let s = &p.stats;
         assert!(s.avg_movement_reduction() >= 0.0);
         assert!(s.max_movement_reduction() >= s.avg_movement_reduction());

@@ -207,10 +207,7 @@ mod tests {
     #[test]
     fn indirect_ref_is_not_analyzable() {
         let inner = ArrayRef::affine(ArrayId(1), vec![AffineExpr::var(v(0))]);
-        let r = ArrayRef::new(
-            ArrayId(0),
-            vec![IndexExpr::Indirect(Box::new(inner))],
-        );
+        let r = ArrayRef::new(ArrayId(0), vec![IndexExpr::Indirect(Box::new(inner))]);
         assert!(!r.is_affine());
         assert!(!r.analyzable);
     }

@@ -129,11 +129,7 @@ pub fn analyze(
         .iter()
         .map(|(stmt, iter)| {
             let w = Footprint::of(program, &stmt.lhs, iter, data);
-            let rs = stmt
-                .reads()
-                .iter()
-                .map(|r| Footprint::of(program, r, iter, data))
-                .collect();
+            let rs = stmt.reads().iter().map(|r| Footprint::of(program, r, iter, data)).collect();
             (w, rs)
         })
         .collect();
@@ -190,11 +186,8 @@ mod tests {
 
     fn deps_of(p: &Program, iters: &[i64], data: Option<&DataStore>) -> Vec<Dependence> {
         let body = &p.nests()[0].body;
-        let instances: Vec<_> = iters
-            .iter()
-            .enumerate()
-            .map(|(k, &i)| (&body[k % body.len()], vec![i]))
-            .collect();
+        let instances: Vec<_> =
+            iters.iter().enumerate().map(|(k, &i)| (&body[k % body.len()], vec![i])).collect();
         analyze(p, &instances, data)
     }
 

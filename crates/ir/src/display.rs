@@ -14,10 +14,7 @@ pub fn affine_to_string(a: &AffineExpr, vars: &[String]) -> String {
     let mut out = String::new();
     let mut first = true;
     for &(v, c) in &a.terms {
-        let name = vars
-            .get(v.depth())
-            .cloned()
-            .unwrap_or_else(|| format!("v{}", v.depth()));
+        let name = vars.get(v.depth()).cloned().unwrap_or_else(|| format!("v{}", v.depth()));
         if c < 0 {
             let _ = write!(out, "-");
         } else if !first {
@@ -90,11 +87,7 @@ pub fn expr_to_string(e: &Expr, program: &Program, vars: &[String]) -> String {
 
 /// Renders one statement (`A[i] = B[i] + 1`).
 pub fn statement_to_string(s: &Statement, program: &Program, vars: &[String]) -> String {
-    format!(
-        "{} = {}",
-        ref_to_string(&s.lhs, program, vars),
-        expr_to_string(&s.rhs, program, vars)
-    )
+    format!("{} = {}", ref_to_string(&s.lhs, program, vars), expr_to_string(&s.rhs, program, vars))
 }
 
 /// Renders a whole nest as pseudo-C.
@@ -145,9 +138,8 @@ mod tests {
         }
         ctx.add_var("i", crate::access::VarId::from_depth(0));
         ctx.add_var("j", crate::access::VarId::from_depth(1));
-        let reparsed = parse_statement(&printed, &ctx).unwrap_or_else(|e| {
-            panic!("printed form `{printed}` does not reparse: {e}")
-        });
+        let reparsed = parse_statement(&printed, &ctx)
+            .unwrap_or_else(|e| panic!("printed form `{printed}` does not reparse: {e}"));
         assert_eq!(reparsed.lhs, nest.body[0].lhs, "lhs changed for `{printed}`");
         assert_eq!(reparsed.rhs, nest.body[0].rhs, "rhs changed for `{printed}`");
     }

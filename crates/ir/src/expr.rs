@@ -91,14 +91,10 @@ mod tests {
 
     #[test]
     fn reads_see_through_indirection() {
-        let inner = ArrayRef::affine(
-            ArrayId::from_index(5),
-            vec![AffineExpr::var(VarId::from_depth(0))],
-        );
-        let outer = ArrayRef::new(
-            ArrayId::from_index(4),
-            vec![IndexExpr::Indirect(Box::new(inner))],
-        );
+        let inner =
+            ArrayRef::affine(ArrayId::from_index(5), vec![AffineExpr::var(VarId::from_depth(0))]);
+        let outer =
+            ArrayRef::new(ArrayId::from_index(4), vec![IndexExpr::Indirect(Box::new(inner))]);
         let e = Expr::Ref(outer);
         let arrays: Vec<_> = e.reads().iter().map(|a| a.array.index()).collect();
         assert_eq!(arrays, vec![4, 5]);

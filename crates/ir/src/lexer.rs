@@ -65,18 +65,43 @@ impl fmt::Display for Token {
     }
 }
 
+/// What went wrong while tokenizing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LexErrorKind {
+    /// A character outside the statement language.
+    UnexpectedChar,
+    /// An integer literal that does not fit in `i64`.
+    IntOutOfRange,
+    /// A floating-point literal `f64` cannot represent.
+    BadFloat,
+}
+
 /// An error produced while tokenizing.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LexError {
-    /// Byte offset of the offending character.
+    /// Byte offset of the offending character (for literal errors, of the
+    /// literal's first character).
     pub position: usize,
-    /// The offending character.
+    /// The offending character (for literal errors, the literal's first
+    /// character).
     pub found: char,
+    /// The kind of error.
+    pub kind: LexErrorKind,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character `{}` at byte {}", self.found, self.position)
+        match self.kind {
+            LexErrorKind::UnexpectedChar => {
+                write!(f, "unexpected character `{}` at byte {}", self.found, self.position)
+            }
+            LexErrorKind::IntOutOfRange => {
+                write!(f, "integer literal at byte {} does not fit in i64", self.position)
+            }
+            LexErrorKind::BadFloat => {
+                write!(f, "malformed float literal at byte {}", self.position)
+            }
+        }
     }
 }
 
@@ -176,10 +201,28 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         i += 1;
                     }
                     let text = &src[start..i];
-                    out.push(Token::Float(text.parse().expect("valid float literal")));
+                    match text.parse() {
+                        Ok(v) => out.push(Token::Float(v)),
+                        Err(_) => {
+                            return Err(LexError {
+                                position: start,
+                                found: c,
+                                kind: LexErrorKind::BadFloat,
+                            })
+                        }
+                    }
                 } else {
                     let text = &src[start..i];
-                    out.push(Token::Int(text.parse().expect("valid int literal")));
+                    match text.parse() {
+                        Ok(v) => out.push(Token::Int(v)),
+                        Err(_) => {
+                            return Err(LexError {
+                                position: start,
+                                found: c,
+                                kind: LexErrorKind::IntOutOfRange,
+                            })
+                        }
+                    }
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -191,7 +234,13 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 out.push(Token::Ident(src[start..i].to_string()));
             }
-            other => return Err(LexError { position: i, found: other }),
+            other => {
+                return Err(LexError {
+                    position: i,
+                    found: other,
+                    kind: LexErrorKind::UnexpectedChar,
+                })
+            }
         }
     }
     Ok(out)
@@ -264,5 +313,30 @@ mod tests {
     fn underscore_identifiers() {
         let toks = tokenize("my_arr_2").unwrap();
         assert_eq!(toks, vec![Token::Ident("my_arr_2".into())]);
+    }
+
+    #[test]
+    fn unknown_character_error_kind() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert_eq!(err.kind, LexErrorKind::UnexpectedChar);
+    }
+
+    #[test]
+    fn overflowing_int_literal_is_an_error_not_a_panic() {
+        let err = tokenize("99999999999999999999999").unwrap_err();
+        assert_eq!(err.kind, LexErrorKind::IntOutOfRange);
+        assert_eq!(err.position, 0);
+        assert!(err.to_string().contains("does not fit"));
+        // In context, with the position pointing at the literal.
+        let err = tokenize("a + 99999999999999999999999").unwrap_err();
+        assert_eq!(err.position, 4);
+    }
+
+    #[test]
+    fn i64_boundary_literals() {
+        // i64::MAX lexes fine; one more overflows.
+        assert!(tokenize("9223372036854775807").is_ok());
+        let err = tokenize("9223372036854775808").unwrap_err();
+        assert_eq!(err.kind, LexErrorKind::IntOutOfRange);
     }
 }

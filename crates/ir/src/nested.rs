@@ -288,10 +288,9 @@ mod tests {
                     assert_eq!(mg.class, OpClass::MulLike);
                     assert_eq!(mg.elems.len(), 2);
                     // One leaf + one nested additive group.
-                    let has_inner = mg
-                        .elems
-                        .iter()
-                        .any(|e| matches!(&e.term, Term::Group(ig) if ig.class == OpClass::AddLike));
+                    let has_inner = mg.elems.iter().any(
+                        |e| matches!(&e.term, Term::Group(ig) if ig.class == OpClass::AddLike),
+                    );
                     assert!(has_inner);
                 }
                 other => panic!("expected mul group, got {other:?}"),

@@ -149,6 +149,20 @@ pub fn parse_statement(src: &str, ctx: &ParseCtx) -> Result<ParsedStatement, Par
     Ok(ParsedStatement { lhs, rhs })
 }
 
+/// Convenience wrapper around [`parse_statement`] for statically-known
+/// statements (tests, examples, generators).
+///
+/// # Panics
+///
+/// Panics with the parse error's message on malformed input. Use
+/// [`parse_statement`] to handle errors.
+pub fn parse_str(src: &str, ctx: &ParseCtx) -> ParsedStatement {
+    match parse_statement(src, ctx) {
+        Ok(s) => s,
+        Err(e) => panic!("parse error in `{src}`: {e}"),
+    }
+}
+
 /// Parses a bare expression (used in tests and tools).
 ///
 /// # Errors
@@ -320,10 +334,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     match self.next()? {
                         Token::Ident(n) => {
-                            let v = self
-                                .ctx
-                                .var(&n)
-                                .ok_or(ParseError::UnknownName(n))?;
+                            let v = self.ctx.var(&n).ok_or(ParseError::UnknownName(n))?;
                             Ok((Some(v), c))
                         }
                         other => Err(ParseError::Unexpected {
@@ -350,10 +361,9 @@ impl Parser<'_> {
                     Ok((Some(v), 1))
                 }
             }
-            other => Err(ParseError::Unexpected {
-                found: other.to_string(),
-                expected: "an affine term",
-            }),
+            other => {
+                Err(ParseError::Unexpected { found: other.to_string(), expected: "an affine term" })
+            }
         }
     }
 }

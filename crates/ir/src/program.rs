@@ -324,9 +324,7 @@ impl DataStore {
             .iter()
             .enumerate()
             .map(|(ai, decl)| {
-                (0..decl.len())
-                    .map(|e| ((ai as u64 * 31 + e * 17) % 97) as f64 + 1.0)
-                    .collect()
+                (0..decl.len()).map(|e| ((ai as u64 * 31 + e * 17) % 97) as f64 + 1.0).collect()
             })
             .collect();
         Self { values }
@@ -484,11 +482,7 @@ impl ProgramBuilder {
     ///
     /// Returns [`BuildError`] if the nest is empty or a statement does not
     /// parse.
-    pub fn nest(
-        &mut self,
-        loops: &[(&str, i64, i64)],
-        stmts: &[&str],
-    ) -> Result<(), BuildError> {
+    pub fn nest(&mut self, loops: &[(&str, i64, i64)], stmts: &[&str]) -> Result<(), BuildError> {
         if loops.is_empty() {
             return Err(BuildError::EmptyNest);
         }
@@ -501,10 +495,7 @@ impl ProgramBuilder {
         }
         let body = stmts
             .iter()
-            .map(|s| {
-                parse_statement(s, &ctx)
-                    .map(|p| Statement { lhs: p.lhs, rhs: p.rhs })
-            })
+            .map(|s| parse_statement(s, &ctx).map(|p| Statement { lhs: p.lhs, rhs: p.rhs }))
             .collect::<Result<Vec<_>, _>>()?;
         self.nests.push(LoopNest {
             dims: loops
@@ -569,19 +560,15 @@ mod tests {
 
     #[test]
     fn empty_trip_count_yields_no_iterations() {
-        let nest = LoopNest {
-            dims: vec![LoopDim { name: "i".into(), lo: 5, hi: 5 }],
-            body: vec![],
-        };
+        let nest =
+            LoopNest { dims: vec![LoopDim { name: "i".into(), lo: 5, hi: 5 }], body: vec![] };
         assert_eq!(nest.iterations().count(), 0);
     }
 
     #[test]
     fn nonzero_lower_bounds() {
-        let nest = LoopNest {
-            dims: vec![LoopDim { name: "i".into(), lo: 2, hi: 5 }],
-            body: vec![],
-        };
+        let nest =
+            LoopNest { dims: vec![LoopDim { name: "i".into(), lo: 2, hi: 5 }], body: vec![] };
         let iters: Vec<_> = nest.iterations().collect();
         assert_eq!(iters, vec![vec![2], vec![3], vec![4]]);
     }
@@ -711,13 +698,8 @@ mod tests {
 
     #[test]
     fn va_wraps_out_of_bounds_linear_index() {
-        let decl = ArrayDecl {
-            name: "A".into(),
-            dims: vec![4],
-            elem_size: 8,
-            base_va: 1000,
-            hot: false,
-        };
+        let decl =
+            ArrayDecl { name: "A".into(), dims: vec![4], elem_size: 8, base_va: 1000, hot: false };
         assert_eq!(decl.va_of(5), decl.va_of(1));
     }
 }

@@ -58,7 +58,12 @@ pub fn unroll(nest: &LoopNest, factor: u32) -> LoopNest {
     for k in 0..i64::from(factor) {
         for stmt in &nest.body {
             let mut s = stmt.clone();
-            rescale_statement(&mut s, var, i64::from(factor), k + inner.lo * (i64::from(factor) - 1));
+            rescale_statement(
+                &mut s,
+                var,
+                i64::from(factor),
+                k + inner.lo * (i64::from(factor) - 1),
+            );
             body.push(s);
         }
     }

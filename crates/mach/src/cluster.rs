@@ -31,7 +31,8 @@ pub enum ClusterMode {
 impl ClusterMode {
     /// All modes, in the order the paper's Figure 22 labels them
     /// (A: all-to-all, B: quadrant, C: SNC-4).
-    pub const ALL: [ClusterMode; 3] = [ClusterMode::AllToAll, ClusterMode::Quadrant, ClusterMode::Snc4];
+    pub const ALL: [ClusterMode; 3] =
+        [ClusterMode::AllToAll, ClusterMode::Quadrant, ClusterMode::Snc4];
 
     /// Single-letter label used by the paper's Figure 22.
     pub fn letter(self) -> char {
@@ -118,9 +119,8 @@ mod tests {
         let m = mesh();
         let req = NodeId::new(0, 0);
         let home = NodeId::new(0, 0);
-        let mcs: Vec<_> = (0..4)
-            .map(|c| ClusterMode::AllToAll.controller(m, req, home, c))
-            .collect();
+        let mcs: Vec<_> =
+            (0..4).map(|c| ClusterMode::AllToAll.controller(m, req, home, c)).collect();
         // All four controllers are reachable regardless of requester/home.
         assert_eq!(mcs.len(), 4);
         assert!(mcs.windows(2).any(|w| w[0] != w[1]));

@@ -191,9 +191,8 @@ mod tests {
 
     #[test]
     fn builders_update_fields() {
-        let m = MachineConfig::knl_like()
-            .with_cluster(ClusterMode::Snc4)
-            .with_mesh(Mesh::new(8, 8));
+        let m =
+            MachineConfig::knl_like().with_cluster(ClusterMode::Snc4).with_mesh(Mesh::new(8, 8));
         assert_eq!(m.cluster, ClusterMode::Snc4);
         assert_eq!(m.mesh.node_count(), 64);
     }

@@ -15,7 +15,11 @@
 //! - [`ClusterMode`] — the KNL cluster-mode policies (all-to-all, quadrant,
 //!   SNC-4) that constrain which memory controller services a miss;
 //! - [`MachineConfig`] — the full description of a machine instance
-//!   (dimensions, cache geometry, latency and energy constants).
+//!   (dimensions, cache geometry, latency and energy constants);
+//! - [`fault`] — fault injection (dead nodes, dead links, lossy links) and
+//!   the fault-aware detour router [`route_avoiding`];
+//! - [`rng`] — the small deterministic PRNG behind workload generation and
+//!   the fault model's drop schedule.
 //!
 //! # Examples
 //!
@@ -31,12 +35,15 @@
 
 pub mod cluster;
 pub mod config;
+pub mod fault;
 pub mod mesh;
 pub mod node;
+pub mod rng;
 pub mod routing;
 
 pub use cluster::ClusterMode;
 pub use config::{EnergyModel, LatencyModel, MachineConfig};
+pub use fault::{route_avoiding, FaultError, FaultPlan, FaultState, RouteError};
 pub use mesh::{Mesh, Quadrant};
 pub use node::NodeId;
 pub use routing::{Link, RouteOrder, RoutePath};

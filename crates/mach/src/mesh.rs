@@ -19,12 +19,8 @@ pub enum Quadrant {
 
 impl Quadrant {
     /// All four quadrants, in a fixed order.
-    pub const ALL: [Quadrant; 4] = [
-        Quadrant::NorthWest,
-        Quadrant::NorthEast,
-        Quadrant::SouthWest,
-        Quadrant::SouthEast,
-    ];
+    pub const ALL: [Quadrant; 4] =
+        [Quadrant::NorthWest, Quadrant::NorthEast, Quadrant::SouthWest, Quadrant::SouthEast];
 }
 
 impl fmt::Display for Quadrant {
@@ -170,6 +166,20 @@ impl Mesh {
     pub fn diameter(self) -> u32 {
         u32::from(self.cols - 1) + u32::from(self.rows - 1)
     }
+
+    /// The mesh neighbours of `node`, in the fixed order +x, −x, +y, −y
+    /// (edge nodes have fewer). The deterministic order matters: the
+    /// detour router's BFS tie-breaks by expansion order.
+    pub fn neighbors(self, node: NodeId) -> impl Iterator<Item = NodeId> {
+        let (x, y) = (node.x(), node.y());
+        let candidates = [
+            (x < self.cols - 1).then(|| NodeId::new(x + 1, y)),
+            (x > 0).then(|| NodeId::new(x - 1, y)),
+            (y < self.rows - 1).then(|| NodeId::new(x, y + 1)),
+            (y > 0).then(|| NodeId::new(x, y - 1)),
+        ];
+        candidates.into_iter().flatten()
+    }
 }
 
 #[cfg(test)]
@@ -221,10 +231,7 @@ mod tests {
     #[test]
     fn quadrants_partition_the_mesh() {
         let mesh = Mesh::new(6, 6);
-        let total: usize = Quadrant::ALL
-            .iter()
-            .map(|&q| mesh.nodes_in_quadrant(q).len())
-            .sum();
+        let total: usize = Quadrant::ALL.iter().map(|&q| mesh.nodes_in_quadrant(q).len()).sum();
         assert_eq!(total as u32, mesh.node_count());
         // Each quadrant of a 6x6 mesh holds exactly 9 nodes.
         for q in Quadrant::ALL {
@@ -244,10 +251,7 @@ mod tests {
     #[test]
     fn odd_meshes_still_partition() {
         let mesh = Mesh::new(5, 3);
-        let total: usize = Quadrant::ALL
-            .iter()
-            .map(|&q| mesh.nodes_in_quadrant(q).len())
-            .sum();
+        let total: usize = Quadrant::ALL.iter().map(|&q| mesh.nodes_in_quadrant(q).len()).sum();
         assert_eq!(total as u32, mesh.node_count());
     }
 

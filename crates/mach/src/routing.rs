@@ -27,14 +27,35 @@ pub struct Link {
 }
 
 impl Link {
+    /// Creates a directed link, returning `None` when `src` and `dst` are
+    /// not adjacent on the mesh.
+    ///
+    /// This is the probing constructor the fault-aware detour router uses
+    /// to test candidate hops without panicking.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmcp_mach::{Link, NodeId};
+    ///
+    /// assert!(Link::try_new(NodeId::new(0, 0), NodeId::new(1, 0)).is_some());
+    /// assert!(Link::try_new(NodeId::new(0, 0), NodeId::new(2, 0)).is_none());
+    /// ```
+    pub fn try_new(src: NodeId, dst: NodeId) -> Option<Self> {
+        src.is_adjacent(dst).then_some(Self { src, dst })
+    }
+
     /// Creates a directed link.
     ///
     /// # Panics
     ///
-    /// Panics if `src` and `dst` are not adjacent on the mesh.
+    /// Panics if `src` and `dst` are not adjacent on the mesh. Use
+    /// [`Link::try_new`] to probe without panicking.
     pub fn new(src: NodeId, dst: NodeId) -> Self {
-        assert!(src.is_adjacent(dst), "link endpoints {src}->{dst} not adjacent");
-        Self { src, dst }
+        match Self::try_new(src, dst) {
+            Some(l) => l,
+            None => panic!("link endpoints {src}->{dst} not adjacent"),
+        }
     }
 
     /// Source endpoint.
@@ -68,6 +89,20 @@ pub struct RoutePath {
 }
 
 impl RoutePath {
+    /// Builds a path from an explicit link sequence (used by the
+    /// fault-aware detour router, whose paths are not dimension-ordered).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if consecutive links are not contiguous.
+    pub fn from_links(links: Vec<Link>) -> Self {
+        debug_assert!(
+            links.windows(2).all(|w| w[0].dst() == w[1].src()),
+            "route links must be contiguous"
+        );
+        Self { links }
+    }
+
     /// The links in traversal order.
     pub fn links(&self) -> &[Link] {
         &self.links

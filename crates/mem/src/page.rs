@@ -94,9 +94,7 @@ impl PageTable {
     /// Translates without allocating; `None` if the page was never touched.
     pub fn lookup(&self, va: VirtAddr) -> Option<PhysAddr> {
         let vpn = self.map.virt_page(va);
-        self.entries
-            .get(&vpn)
-            .map(|&ppn| self.map.compose(ppn, self.map.page_offset(va.raw())))
+        self.entries.get(&vpn).map(|&ppn| self.map.compose(ppn, self.map.page_offset(va.raw())))
     }
 
     fn allocate(&mut self, vpn: u64) -> u64 {

@@ -67,8 +67,7 @@ impl Snuca {
     /// Memory controller that services an L2 miss on `pa`.
     pub fn controller_node(&self, pa: PhysAddr, requester: NodeId) -> NodeId {
         let home = self.home_node(pa, requester);
-        self.cluster
-            .controller(self.mesh, requester, home, self.map.channel_of_phys(pa))
+        self.cluster.controller(self.mesh, requester, home, self.map.channel_of_phys(pa))
     }
 }
 
@@ -85,9 +84,8 @@ mod tests {
     fn consecutive_lines_spread_over_banks() {
         let s = snuca(ClusterMode::Quadrant);
         let req = NodeId::new(0, 0);
-        let homes: std::collections::HashSet<_> = (0..36u64)
-            .map(|i| s.home_node(PhysAddr::new(i * 64), req))
-            .collect();
+        let homes: std::collections::HashSet<_> =
+            (0..36u64).map(|i| s.home_node(PhysAddr::new(i * 64), req)).collect();
         assert_eq!(homes.len(), 36, "36 consecutive lines should hit 36 banks");
     }
 
@@ -95,10 +93,7 @@ mod tests {
     fn home_is_requester_independent_outside_snc4() {
         let s = snuca(ClusterMode::Quadrant);
         let pa = PhysAddr::new(0x1_2345);
-        assert_eq!(
-            s.home_node(pa, NodeId::new(0, 0)),
-            s.home_node(pa, NodeId::new(5, 5))
-        );
+        assert_eq!(s.home_node(pa, NodeId::new(0, 0)), s.home_node(pa, NodeId::new(5, 5)));
     }
 
     #[test]
@@ -107,10 +102,7 @@ mod tests {
         let pa = PhysAddr::new(0x1_2345);
         let mesh = s.mesh();
         for req in [NodeId::new(0, 0), NodeId::new(5, 0), NodeId::new(0, 5), NodeId::new(5, 5)] {
-            assert_eq!(
-                mesh.quadrant_of(s.home_node(pa, req)),
-                mesh.quadrant_of(req)
-            );
+            assert_eq!(mesh.quadrant_of(s.home_node(pa, req)), mesh.quadrant_of(req));
         }
     }
 

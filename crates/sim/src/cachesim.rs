@@ -62,19 +62,13 @@ impl CacheSystem {
     /// `home`; `hot` marks flat-placement in fast memory. Fills caches on
     /// the way back. Returns where the data came from.
     pub fn read(&mut self, node: NodeId, line: LineAddr, home: NodeId, hot: bool) -> ServedBy {
-        let l1 = self
-            .l1
-            .entry(node)
-            .or_insert_with(|| Cache::new(self.l1_sets, self.l1_ways));
+        let l1 = self.l1.entry(node).or_insert_with(|| Cache::new(self.l1_sets, self.l1_ways));
         if !l1.access(line).is_miss() {
             self.l1_hits += 1;
             return ServedBy::L1;
         }
         self.l1_misses += 1;
-        let l2 = self
-            .l2
-            .entry(home)
-            .or_insert_with(|| Cache::new(self.l2_sets, self.l2_ways));
+        let l2 = self.l2.entry(home).or_insert_with(|| Cache::new(self.l2_sets, self.l2_ways));
         if !l2.access(line).is_miss() {
             self.l2_hits += 1;
             return ServedBy::L2;
@@ -91,14 +85,8 @@ impl CacheSystem {
     /// Performs a write of `line` by `node` into its home bank
     /// (write-allocate in both the writer's L1 and the home L2).
     pub fn write(&mut self, node: NodeId, line: LineAddr, home: NodeId) {
-        self.l1
-            .entry(node)
-            .or_insert_with(|| Cache::new(self.l1_sets, self.l1_ways))
-            .access(line);
-        self.l2
-            .entry(home)
-            .or_insert_with(|| Cache::new(self.l2_sets, self.l2_ways))
-            .access(line);
+        self.l1.entry(node).or_insert_with(|| Cache::new(self.l1_sets, self.l1_ways)).access(line);
+        self.l2.entry(home).or_insert_with(|| Cache::new(self.l2_sets, self.l2_ways)).access(line);
     }
 
     /// `true` if `line` currently sits in `home`'s L2 bank (used to measure

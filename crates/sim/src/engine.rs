@@ -4,10 +4,10 @@ use crate::cachesim::{CacheSystem, ServedBy};
 use crate::network::Network;
 use crate::report::{EnergyBreakdown, SimReport};
 use dmcp_core::{Layout, Operand, Schedule, Step};
-use dmcp_mach::NodeId;
+use dmcp_ir::Program;
+use dmcp_mach::{FaultState, NodeId};
 use dmcp_mem::predictor::PredictorAccuracy;
 use dmcp_mem::MemoryMode;
-use dmcp_ir::Program;
 use std::collections::HashMap;
 
 /// Simulation options, including the paper's counterfactual knobs.
@@ -119,6 +119,30 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// [`Engine::new`] on a degraded machine: transfers route around
+    /// faults (and pay for detours, drops and retries), and movement is
+    /// counted over the links actually traversed. The caller should pass a
+    /// layout that had the same fault state applied
+    /// ([`Layout::apply_faults`]) so placement and timing agree on the
+    /// degraded mesh.
+    ///
+    /// A trivial fault state leaves the engine bit-identical to
+    /// [`Engine::new`].
+    pub fn with_faults(
+        program: &'a Program,
+        layout: &'a Layout,
+        opts: SimOptions,
+        faults: FaultState,
+    ) -> Self {
+        let mut this = Self::new(program, layout, opts);
+        this.network = Network::with_faults(layout.machine().latency, faults);
+        this.network.zero_latency = opts.ideal_network;
+        if let Some(s) = opts.movement_scale {
+            this.network.distance_scale = s;
+        }
+        this
+    }
+
     /// Executes one nest's schedule. Nests are separated by a global
     /// barrier (all node clocks advance to the global maximum).
     pub fn run(&mut self, schedule: &Schedule) {
@@ -164,9 +188,10 @@ impl<'a> Engine<'a> {
                 if pn == node {
                     start = start.max(pf);
                 } else {
+                    let links = self.network.path_len(pn, node);
                     let arrival = pf + self.network.transfer(pn, node) + lat.sync;
-                    self.movement += u64::from(pn.manhattan(node));
-                    self.track(step, pn.manhattan(node));
+                    self.movement += u64::from(links);
+                    self.track(step, links);
                     self.sync_count += 1;
                     if arrival > start {
                         self.sync_wait += arrival - start;
@@ -209,11 +234,7 @@ impl<'a> Engine<'a> {
         let fetch = fetch_max.max(fetch_sum / MLP);
 
         // Compute.
-        let op_units: f64 = step
-            .inputs
-            .iter()
-            .map(|i| i.op.cost(lat.div_factor))
-            .sum();
+        let op_units: f64 = step.inputs.iter().map(|i| i.op.cost(lat.div_factor)).sum();
         self.ops += step.inputs.len() as u64;
         let mut compute = op_units * lat.op;
         if let Some(s) = self.opts.compute_scale {
@@ -222,17 +243,18 @@ impl<'a> Engine<'a> {
         // S4: the transplanted synchronization cost delays this statement's
         // completion the same way the optimized run pays it — as latency
         // that overlaps with the node's other work, not as throughput.
-        let extra_sync = self.opts.extra_sync_per_statement
-            * f64::from(u8::from(step.store.is_some()));
+        let extra_sync =
+            self.opts.extra_sync_per_statement * f64::from(u8::from(step.store.is_some()));
 
         // Store: the result travels to its home bank.
         let mut store_lat = 0.0;
         if let Some(st) = &step.store {
             self.caches.write(node, st.line, st.home);
             if st.home != node {
+                let links = self.network.path_len(node, st.home);
                 store_lat = self.network.transfer(node, st.home);
-                self.movement += u64::from(node.manhattan(st.home));
-                self.track(step, node.manhattan(st.home));
+                self.movement += u64::from(links);
+                self.track(step, links);
             }
         }
 
@@ -241,11 +263,8 @@ impl<'a> Engine<'a> {
         // thanks to non-blocking caches, so only issue slots occupy the
         // core; the step itself still finishes after its slowest fetch.
         let latency = fetch + compute + store_lat + extra_sync;
-        let elems = step
-            .inputs
-            .iter()
-            .filter(|i| matches!(i.operand, Operand::Elem(_)))
-            .count() as f64;
+        let elems =
+            step.inputs.iter().filter(|i| matches!(i.operand, Operand::Elem(_))).count() as f64;
         let occupancy = compute + store_lat.min(4.0) + 2.0 * elems + 1.0;
         self.node_time.insert(node, capacity + occupancy);
         start + latency
@@ -287,9 +306,10 @@ impl<'a> Engine<'a> {
             ServedBy::L1 => lat.l1_hit,
             ServedBy::L2 => {
                 let req = self.request_latency(node, home);
+                let links = self.network.path_len(home, node);
                 let back = self.network.transfer(home, node);
-                self.movement += u64::from(home.manhattan(node));
-                self.track(step, home.manhattan(node));
+                self.movement += u64::from(links);
+                self.track(step, links);
                 lat.l1_hit + req + lat.l2_hit + back
             }
             ServedBy::Memory(tier) => {
@@ -303,8 +323,8 @@ impl<'a> Engine<'a> {
                 // requester (Eq. 1 measures distance-to-MC for misses); the
                 // home-bank fill happens in the background and is not on
                 // the requester's path.
+                let links = self.network.path_len(mc, node);
                 let back = self.network.transfer(mc, node);
-                let links = mc.manhattan(node);
                 self.movement += u64::from(links);
                 self.track(step, links);
                 lat.l1_hit + req + lat.l2_hit + mem + back
@@ -313,21 +333,20 @@ impl<'a> Engine<'a> {
     }
 
     /// Latency of a (small) request message: hop latency only — requests
-    /// are not counted as data movement.
+    /// are not counted as data movement. On a faulty mesh the request
+    /// follows the same detour route data would.
     fn request_latency(&self, src: NodeId, dst: NodeId) -> f64 {
         if self.opts.ideal_network {
             return 0.0;
         }
         let scale = self.opts.movement_scale.unwrap_or(1.0);
-        f64::from(src.manhattan(dst)) * self.layout.machine().latency.hop * scale
+        f64::from(self.network.path_len(src, dst)) * self.layout.machine().latency.hop * scale
     }
 
     fn track(&mut self, step: &Step, links: u32) {
         if self.opts.track_instances {
-            *self
-                .per_instance
-                .entry((step.tag.nest, step.tag.instance))
-                .or_insert(0) += u64::from(links);
+            *self.per_instance.entry((step.tag.nest, step.tag.instance)).or_insert(0) +=
+                u64::from(links);
         }
     }
 
@@ -382,6 +401,9 @@ impl<'a> Engine<'a> {
             predictor_accuracy: self.accuracy.accuracy(),
             energy,
             per_instance_movement: self.per_instance.clone(),
+            net_retries: self.network.retries(),
+            net_detour_hops: self.network.detour_hops(),
+            net_dropped_flits: self.network.dropped_flits(),
         }
     }
 }
@@ -405,7 +427,12 @@ mod tests {
         (program, machine, part)
     }
 
-    fn simulate(program: &Program, part: &Partitioner, out: &dmcp_core::PartitionOutput, opts: SimOptions) -> SimReport {
+    fn simulate(
+        program: &Program,
+        part: &Partitioner,
+        out: &dmcp_core::PartitionOutput,
+        opts: SimOptions,
+    ) -> SimReport {
         let mut engine = Engine::new(program, part.layout(), opts);
         for nest in &out.nests {
             engine.run(&nest.schedule);

@@ -1,0 +1,54 @@
+//! Typed errors for fault-aware simulation.
+
+use dmcp_core::PartitionError;
+use dmcp_mach::{FaultError, RouteError};
+use std::fmt;
+
+/// Errors running the simulator against a degraded machine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// A transfer was requested between nodes the faults disconnected.
+    Route(RouteError),
+    /// The fault plan failed validation against the mesh.
+    Fault(FaultError),
+    /// Degraded-mode partitioning failed.
+    Partition(PartitionError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Route(e) => write!(f, "unroutable transfer: {e}"),
+            SimError::Fault(e) => write!(f, "invalid fault plan: {e}"),
+            SimError::Partition(e) => write!(f, "degraded partitioning failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Route(e) => Some(e),
+            SimError::Fault(e) => Some(e),
+            SimError::Partition(e) => Some(e),
+        }
+    }
+}
+
+impl From<RouteError> for SimError {
+    fn from(e: RouteError) -> Self {
+        SimError::Route(e)
+    }
+}
+
+impl From<FaultError> for SimError {
+    fn from(e: FaultError) -> Self {
+        SimError::Fault(e)
+    }
+}
+
+impl From<PartitionError> for SimError {
+    fn from(e: PartitionError) -> Self {
+        SimError::Partition(e)
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod cachesim;
 pub mod engine;
+pub mod error;
 pub mod network;
 pub mod report;
 pub mod scenarios;
@@ -27,6 +28,10 @@ pub mod viz;
 
 pub use cachesim::CacheSystem;
 pub use engine::{Engine, SimOptions};
+pub use error::SimError;
 pub use network::Network;
 pub use report::{EnergyBreakdown, SimReport};
-pub use scenarios::{run_program, run_schedules, Scenario};
+pub use scenarios::{
+    degradation_table, fault_sweep, run_program, run_schedules, run_schedules_degraded,
+    DegradationRow, FaultSweepConfig, Scenario,
+};

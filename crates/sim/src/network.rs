@@ -6,12 +6,18 @@
 //! links slower, which is what the paper's Figure 19 (average/maximum
 //! network latency) measures.
 
-use dmcp_mach::{routing, LatencyModel, Link, NodeId};
+use crate::error::SimError;
+use dmcp_mach::{fault, routing, FaultState, LatencyModel, Link, NodeId};
 use std::collections::HashMap;
 
 /// Decay applied to a link's load on each traversal (the effective window
 /// is ~1/(1-decay) recent traversals).
 const LOAD_DECAY: f64 = 0.98;
+
+/// After this many drops of one message, the retransmission is assumed to
+/// succeed (modelling a switch to a guaranteed-delivery mode). Bounds the
+/// retry loop on arbitrarily lossy links.
+const MAX_RETRIES: u32 = 6;
 
 /// The network state: link loads plus latency statistics.
 #[derive(Clone, Debug)]
@@ -22,6 +28,12 @@ pub struct Network {
     latency_sum: f64,
     latency_max: f64,
     links_traversed: u64,
+    /// Fault state driving detours, drops and retries; `None` on a healthy
+    /// mesh, where [`Network::transfer`] runs the original XY fast path.
+    faults: Option<FaultState>,
+    retries: u64,
+    detour_hops: u64,
+    dropped_flits: u64,
     /// When `true` every transfer takes zero time (the paper's
     /// ideal-network scenario); loads and link counts are still recorded.
     pub zero_latency: bool,
@@ -40,9 +52,25 @@ impl Network {
             latency_sum: 0.0,
             latency_max: 0.0,
             links_traversed: 0,
+            faults: None,
+            retries: 0,
+            detour_hops: 0,
+            dropped_flits: 0,
             zero_latency: false,
             distance_scale: 1.0,
         }
+    }
+
+    /// Creates an idle network threaded with a fault state. A trivial
+    /// (empty) state is discarded, leaving the healthy fast path — healthy
+    /// runs stay bit-identical whether or not they went through this
+    /// constructor.
+    pub fn with_faults(latency: LatencyModel, faults: FaultState) -> Self {
+        let mut net = Self::new(latency);
+        if !faults.is_trivial() {
+            net.faults = Some(faults);
+        }
+        net
     }
 
     /// Performs one transfer of a cache-line-sized message from `src` to
@@ -50,18 +78,83 @@ impl Network {
     ///
     /// A zero-hop transfer (same node) is free and not counted as a
     /// message.
+    ///
+    /// # Panics
+    ///
+    /// On a faulty mesh, panics when the endpoints are disconnected — the
+    /// degraded partitioner only schedules on the connected live set, so a
+    /// well-formed schedule never hits this. Use [`Network::try_transfer`]
+    /// to observe the error instead.
     pub fn transfer(&mut self, src: NodeId, dst: NodeId) -> f64 {
+        self.try_transfer(src, dst).expect("transfer between unusable nodes")
+    }
+
+    /// Fallible [`Network::transfer`].
+    ///
+    /// On a faulty mesh the message follows the detour route around dead
+    /// nodes/links; each traversal of a lossy link may drop the flit on
+    /// its deterministic drop schedule, in which case the partial path is
+    /// paid for, an exponential-backoff penalty accrues and the whole path
+    /// is retransmitted (forced through after [`MAX_RETRIES`] drops).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Route`] when faults disconnect `src` from `dst`.
+    pub fn try_transfer(&mut self, src: NodeId, dst: NodeId) -> Result<f64, SimError> {
         if src == dst {
-            return 0.0;
+            return Ok(0.0);
         }
-        let path = routing::route(src, dst);
+        // Healthy fast path: exactly the original code.
+        let Some(mut faults) = self.faults.take() else {
+            let path = routing::route(src, dst);
+            let mut lat = 0.0;
+            for link in &path {
+                let load = self.load.entry(*link).or_insert(0.0);
+                lat += self.latency.hop + self.latency.contention * *load;
+                *load = *load * LOAD_DECAY + 1.0;
+                self.links_traversed += 1;
+            }
+            return Ok(self.finish_message(lat));
+        };
+        let result = fault::route_avoiding(src, dst, &faults);
+        let path = match result {
+            Ok(p) => p,
+            Err(e) => {
+                self.faults = Some(faults);
+                return Err(e.into());
+            }
+        };
+        self.detour_hops += u64::from(path.len() - src.manhattan(dst));
         let mut lat = 0.0;
-        for link in &path {
-            let load = self.load.entry(*link).or_insert(0.0);
-            lat += self.latency.hop + self.latency.contention * *load;
-            *load = *load * LOAD_DECAY + 1.0;
-            self.links_traversed += 1;
+        let mut attempt = 0u32;
+        loop {
+            let mut delivered = true;
+            for link in &path {
+                let load = self.load.entry(*link).or_insert(0.0);
+                lat += self.latency.hop + self.latency.contention * *load;
+                *load = *load * LOAD_DECAY + 1.0;
+                self.links_traversed += 1;
+                if attempt < MAX_RETRIES && faults.should_drop(*link) {
+                    // The flit died here: the partial traversal was already
+                    // paid for; add the retransmission backoff and resend.
+                    self.dropped_flits += 1;
+                    lat += self.latency.hop * f64::from(1u32 << attempt);
+                    delivered = false;
+                    break;
+                }
+            }
+            if delivered {
+                break;
+            }
+            attempt += 1;
+            self.retries += 1;
         }
+        self.faults = Some(faults);
+        Ok(self.finish_message(lat))
+    }
+
+    /// Applies scaling/zero-latency and records message statistics.
+    fn finish_message(&mut self, mut lat: f64) -> f64 {
         lat *= self.distance_scale;
         if self.zero_latency {
             lat = 0.0;
@@ -72,6 +165,35 @@ impl Network {
             self.latency_max = lat;
         }
         lat
+    }
+
+    /// Number of links a message from `src` to `dst` traverses: the
+    /// Manhattan distance on a healthy mesh, the detour length on a faulty
+    /// one (falling back to Manhattan for disconnected pairs, which a
+    /// well-formed schedule never requests).
+    pub fn path_len(&self, src: NodeId, dst: NodeId) -> u32 {
+        match &self.faults {
+            None => src.manhattan(dst),
+            Some(f) => match fault::route_avoiding(src, dst, f) {
+                Ok(p) => p.len(),
+                Err(_) => src.manhattan(dst),
+            },
+        }
+    }
+
+    /// Retransmissions caused by lossy links.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Extra links traversed because messages detoured around faults.
+    pub fn detour_hops(&self) -> u64 {
+        self.detour_hops
+    }
+
+    /// Flits dropped by lossy links.
+    pub fn dropped_flits(&self) -> u64 {
+        self.dropped_flits
     }
 
     /// Number of messages transferred.
@@ -169,5 +291,69 @@ mod tests {
         b.distance_scale = 0.5;
         let half = b.transfer(NodeId::new(0, 0), NodeId::new(4, 0));
         assert!((half - full / 2.0).abs() < 1e-9);
+    }
+
+    use dmcp_mach::{FaultPlan, FaultState, Mesh};
+
+    fn faulty(plan: FaultPlan) -> Network {
+        let faults = FaultState::new(plan, Mesh::new(6, 6)).unwrap();
+        Network::with_faults(LatencyModel::default(), faults)
+    }
+
+    #[test]
+    fn trivial_faults_keep_transfers_bit_identical() {
+        let mut healthy = net();
+        let mut trivial = faulty(FaultPlan::healthy());
+        for (s, d) in [((0, 0), (5, 5)), ((3, 1), (0, 4)), ((2, 2), (2, 3))] {
+            let a = healthy.transfer(NodeId::new(s.0, s.1), NodeId::new(d.0, d.1));
+            let b = trivial.transfer(NodeId::new(s.0, s.1), NodeId::new(d.0, d.1));
+            assert_eq!(a.to_bits(), b.to_bits(), "healthy path must be bit-identical");
+        }
+        assert_eq!(healthy.links_traversed(), trivial.links_traversed());
+        assert_eq!(trivial.retries(), 0);
+        assert_eq!(trivial.detour_hops(), 0);
+    }
+
+    #[test]
+    fn detours_count_extra_hops() {
+        let mut plan = FaultPlan::healthy();
+        plan.kill_node(NodeId::new(2, 0));
+        let mut n = faulty(plan);
+        let src = NodeId::new(0, 0);
+        let dst = NodeId::new(5, 0);
+        let lat = n.transfer(src, dst);
+        assert!(lat > 0.0);
+        assert_eq!(n.detour_hops(), 2, "one dead node on the row costs 2 extra hops");
+        assert_eq!(n.links_traversed(), u64::from(src.manhattan(dst)) + 2);
+        assert_eq!(n.path_len(src, dst), src.manhattan(dst) + 2);
+    }
+
+    #[test]
+    fn lossy_links_retry_with_backoff_and_converge() {
+        let mut plan = FaultPlan::with_seed(11);
+        plan.lossy_link(NodeId::new(1, 0), NodeId::new(2, 0), 0.5);
+        let mut n = faulty(plan);
+        let mut clean = net();
+        let mut total = 0.0;
+        let mut clean_total = 0.0;
+        for _ in 0..200 {
+            total += n.transfer(NodeId::new(0, 0), NodeId::new(5, 0));
+            clean_total += clean.transfer(NodeId::new(0, 0), NodeId::new(5, 0));
+        }
+        assert!(n.retries() > 0, "a 50% lossy link must force retries");
+        assert_eq!(n.retries(), n.dropped_flits());
+        assert!(total > clean_total, "drops must cost latency");
+        assert_eq!(n.messages(), 200, "every message is eventually delivered");
+    }
+
+    #[test]
+    fn disconnected_transfer_is_a_typed_error() {
+        let mut plan = FaultPlan::healthy();
+        plan.kill_link(NodeId::new(0, 0), NodeId::new(1, 0));
+        plan.kill_link(NodeId::new(0, 0), NodeId::new(0, 1));
+        let mut n = faulty(plan);
+        let err = n.try_transfer(NodeId::new(0, 0), NodeId::new(5, 5)).unwrap_err();
+        assert!(matches!(err, SimError::Route(_)));
+        assert_eq!(n.messages(), 0, "failed transfers are not messages");
     }
 }

@@ -68,6 +68,14 @@ pub struct SimReport {
     pub busiest_node: f64,
     /// The latest step completion (critical-path bound).
     pub last_finish: f64,
+    /// Retransmissions caused by lossy links (0 on a healthy mesh).
+    pub net_retries: u64,
+    /// Extra links traversed because messages detoured around faults
+    /// (0 on a healthy mesh).
+    pub net_detour_hops: u64,
+    /// Flits dropped by lossy links before a successful delivery
+    /// (0 on a healthy mesh).
+    pub net_dropped_flits: u64,
 }
 
 impl SimReport {

@@ -1,13 +1,12 @@
 //! End-to-end evaluation scenarios (Figures 17 & 18 of the paper).
 
 use crate::engine::{Engine, SimOptions};
+use crate::error::SimError;
 use crate::report::SimReport;
-use dmcp_core::{
-    Layout, PartitionConfig, PartitionOutput, Partitioner, PlanOptions,
-};
 use dmcp_core::partitioner::PredictorSpec;
+use dmcp_core::{Layout, PartitionConfig, PartitionOutput, Partitioner, PlanOptions};
 use dmcp_ir::Program;
-use dmcp_mach::MachineConfig;
+use dmcp_mach::{FaultPlan, FaultState, MachineConfig};
 use dmcp_mem::MemoryMode;
 
 /// Which run to perform.
@@ -113,6 +112,162 @@ pub fn run_schedules(
     engine.report()
 }
 
+/// [`run_schedules`] on a degraded machine: transfers detour around the
+/// faults and pay for drops/retries. With a trivial fault state this is
+/// bit-identical to [`run_schedules`].
+pub fn run_schedules_degraded(
+    program: &Program,
+    layout: &Layout,
+    parts: &PartitionOutput,
+    opts: SimOptions,
+    faults: FaultState,
+) -> SimReport {
+    let mut engine = Engine::with_faults(program, layout, opts, faults);
+    for nest in &parts.nests {
+        engine.run(&nest.schedule);
+    }
+    engine.report()
+}
+
+/// Parameters of a graceful-degradation sweep.
+#[derive(Clone, Debug)]
+pub struct FaultSweepConfig {
+    /// Dead-node fractions to sweep; by convention starts at `0.0`, the
+    /// healthy reference row.
+    pub dead_fracs: Vec<f64>,
+    /// Per-link permanent-failure probability (non-zero rows only).
+    pub link_fail: f64,
+    /// Per-link probability of being transiently lossy (non-zero rows
+    /// only).
+    pub lossy: f64,
+    /// Per-traversal drop probability of a lossy link.
+    pub drop_prob: f64,
+    /// Seed for fault-plan sampling and the drop schedule.
+    pub seed: u64,
+}
+
+impl Default for FaultSweepConfig {
+    fn default() -> Self {
+        Self {
+            dead_fracs: vec![0.0, 0.05, 0.10, 0.20],
+            link_fail: 0.05,
+            lossy: 0.05,
+            drop_prob: 0.10,
+            seed: 0x0D15_EA5E,
+        }
+    }
+}
+
+/// One row of the graceful-degradation table.
+#[derive(Clone, Debug)]
+pub struct DegradationRow {
+    /// Requested dead-node fraction.
+    pub dead_frac: f64,
+    /// Nodes actually usable (live and connected).
+    pub live_nodes: u32,
+    /// Mean degree of subcomputation parallelism the partitioner achieved.
+    pub parallelism: f64,
+    /// The full simulation report.
+    pub report: SimReport,
+    /// `report.movement / healthy.movement` (1.0 on the healthy row).
+    pub movement_ratio: f64,
+    /// `report.net_avg_latency / healthy.net_avg_latency`.
+    pub avg_latency_ratio: f64,
+    /// `report.net_max_latency / healthy.net_max_latency`.
+    pub max_latency_ratio: f64,
+    /// `report.exec_time / healthy.exec_time`.
+    pub exec_time_ratio: f64,
+}
+
+/// Sweeps fault severities over `program`: for each dead-node fraction a
+/// fault plan is sampled, the program is re-partitioned in degraded mode
+/// (dead banks re-homed, dead nodes excluded from every placement) and
+/// simulated on the faulty network. Returns one row per fraction with all
+/// degradation ratios computed against the first row.
+///
+/// The `0.0` fraction produces a genuinely healthy machine — its plan,
+/// schedule and report are **bit-identical** to a run that never heard of
+/// faults.
+///
+/// # Errors
+///
+/// [`SimError::Fault`] for unusable sampled plans and
+/// [`SimError::Partition`] when degraded partitioning fails.
+pub fn fault_sweep(
+    program: &Program,
+    machine: &MachineConfig,
+    config: &PartitionConfig,
+    sweep: &FaultSweepConfig,
+) -> Result<Vec<DegradationRow>, SimError> {
+    let sim = SimOptions::default();
+    let mut rows: Vec<DegradationRow> = Vec::with_capacity(sweep.dead_fracs.len());
+    for (i, &frac) in sweep.dead_fracs.iter().enumerate() {
+        let plan = if frac == 0.0 {
+            FaultPlan::healthy()
+        } else {
+            FaultPlan::random(
+                machine.mesh,
+                frac,
+                sweep.link_fail,
+                sweep.lossy,
+                sweep.drop_prob,
+                sweep.seed.wrapping_add(i as u64),
+            )
+        };
+        let faults = FaultState::new(plan, machine.mesh)?;
+        let live = faults.live_nodes().len() as u32;
+        let partitioner = Partitioner::new_degraded(machine, program, config.clone(), &faults)?;
+        let out = partitioner.try_partition(program)?;
+        let report = run_schedules_degraded(program, partitioner.layout(), &out, sim, faults);
+        let ratio = |x: f64, h: f64| if h == 0.0 { 1.0 } else { x / h };
+        let (movement_ratio, avg_latency_ratio, max_latency_ratio, exec_time_ratio) =
+            match rows.first() {
+                None => (1.0, 1.0, 1.0, 1.0),
+                Some(h) => (
+                    ratio(report.movement as f64, h.report.movement as f64),
+                    ratio(report.net_avg_latency, h.report.net_avg_latency),
+                    ratio(report.net_max_latency, h.report.net_max_latency),
+                    ratio(report.exec_time, h.report.exec_time),
+                ),
+            };
+        rows.push(DegradationRow {
+            dead_frac: frac,
+            live_nodes: live,
+            parallelism: out.avg_parallelism(),
+            report,
+            movement_ratio,
+            avg_latency_ratio,
+            max_latency_ratio,
+            exec_time_ratio,
+        });
+    }
+    Ok(rows)
+}
+
+/// Formats sweep rows as the degradation table the fault-sweep example and
+/// README show.
+pub fn degradation_table(rows: &[DegradationRow]) -> String {
+    let mut s = String::from(
+        "dead%  live  movement  mov x  avg-lat x  max-lat x  time x  par   retries  detours\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:>4.0}%  {:>4}  {:>8}  {:>5.2}  {:>9.2}  {:>9.2}  {:>6.2}  {:>4.1}  {:>7}  {:>7}\n",
+            r.dead_frac * 100.0,
+            r.live_nodes,
+            r.report.movement,
+            r.movement_ratio,
+            r.avg_latency_ratio,
+            r.max_latency_ratio,
+            r.exec_time_ratio,
+            r.parallelism,
+            r.report.net_retries,
+            r.report.net_detour_hops,
+        ));
+    }
+    s
+}
+
 /// Plans and simulates `program` under a scenario, returning its report.
 ///
 /// The counterfactual scenarios first perform the prerequisite optimized
@@ -204,10 +359,30 @@ mod tests {
         let p = program();
         let machine = MachineConfig::knl_like();
         let cfg = PartitionConfig::default();
-        let base = run_program(&p, &p.initial_data(), &machine, &cfg, MemoryMode::Flat, Scenario::Baseline);
-        let opt = run_program(&p, &p.initial_data(), &machine, &cfg, MemoryMode::Flat, Scenario::Optimized);
-        let ideal_net =
-            run_program(&p, &p.initial_data(), &machine, &cfg, MemoryMode::Flat, Scenario::IdealNetwork);
+        let base = run_program(
+            &p,
+            &p.initial_data(),
+            &machine,
+            &cfg,
+            MemoryMode::Flat,
+            Scenario::Baseline,
+        );
+        let opt = run_program(
+            &p,
+            &p.initial_data(),
+            &machine,
+            &cfg,
+            MemoryMode::Flat,
+            Scenario::Optimized,
+        );
+        let ideal_net = run_program(
+            &p,
+            &p.initial_data(),
+            &machine,
+            &cfg,
+            MemoryMode::Flat,
+            Scenario::IdealNetwork,
+        );
         assert!(opt.exec_time < base.exec_time, "optimized should beat baseline");
         assert!(ideal_net.exec_time < opt.exec_time, "ideal network should beat optimized");
     }
@@ -217,9 +392,22 @@ mod tests {
         let p = program();
         let machine = MachineConfig::knl_like();
         let cfg = PartitionConfig::default();
-        let opt = run_program(&p, &p.initial_data(), &machine, &cfg, MemoryMode::Flat, Scenario::Optimized);
-        let ideal =
-            run_program(&p, &p.initial_data(), &machine, &cfg, MemoryMode::Flat, Scenario::IdealAnalysis);
+        let opt = run_program(
+            &p,
+            &p.initial_data(),
+            &machine,
+            &cfg,
+            MemoryMode::Flat,
+            Scenario::Optimized,
+        );
+        let ideal = run_program(
+            &p,
+            &p.initial_data(),
+            &machine,
+            &cfg,
+            MemoryMode::Flat,
+            Scenario::IdealAnalysis,
+        );
         // Perfect analysis never plans *worse* movement than the predictor-
         // driven compiler (up to balance-rule noise: allow 2 %).
         assert!(
@@ -235,7 +423,14 @@ mod tests {
         let p = program();
         let machine = MachineConfig::knl_like();
         let cfg = PartitionConfig::default();
-        let base = run_program(&p, &p.initial_data(), &machine, &cfg, MemoryMode::Flat, Scenario::Baseline);
+        let base = run_program(
+            &p,
+            &p.initial_data(),
+            &machine,
+            &cfg,
+            MemoryMode::Flat,
+            Scenario::Baseline,
+        );
         for s in [Scenario::S1L1Pattern, Scenario::S2Movement, Scenario::S3Parallelism] {
             let r = run_program(&p, &p.initial_data(), &machine, &cfg, MemoryMode::Flat, s);
             assert!(
@@ -246,7 +441,46 @@ mod tests {
             );
         }
         // S4 only *adds* costs to the baseline.
-        let s4 = run_program(&p, &p.initial_data(), &machine, &cfg, MemoryMode::Flat, Scenario::S4Sync);
+        let s4 =
+            run_program(&p, &p.initial_data(), &machine, &cfg, MemoryMode::Flat, Scenario::S4Sync);
         assert!(s4.exec_time >= base.exec_time);
+    }
+
+    #[test]
+    fn fault_sweep_healthy_row_is_bit_identical_to_a_faultless_run() {
+        let p = program();
+        let machine = MachineConfig::knl_like();
+        let cfg = PartitionConfig::default();
+        let rows = fault_sweep(&p, &machine, &cfg, &FaultSweepConfig::default()).unwrap();
+        assert_eq!(rows.len(), 4);
+        // Reference run through the original fault-free code paths.
+        let part = Partitioner::new(&machine, &p, cfg);
+        let out = part.partition(&p);
+        let healthy = run_schedules(&p, part.layout(), &out, SimOptions::default());
+        assert_eq!(rows[0].report, healthy, "0% row must be bit-identical to healthy");
+        assert_eq!(rows[0].movement_ratio, 1.0);
+        assert_eq!(rows[0].report.net_retries, 0);
+        assert_eq!(rows[0].report.net_detour_hops, 0);
+    }
+
+    #[test]
+    fn fault_sweep_degrades_gracefully() {
+        let p = program();
+        let machine = MachineConfig::knl_like();
+        let cfg = PartitionConfig::default();
+        let rows = fault_sweep(&p, &machine, &cfg, &FaultSweepConfig::default()).unwrap();
+        for r in &rows[1..] {
+            assert!(r.live_nodes < 36, "faulty rows lose nodes");
+            assert!(r.report.exec_time > 0.0, "degraded runs still complete");
+            assert!(r.parallelism >= 1.0);
+        }
+        // The sweep is deterministic end to end.
+        let again = fault_sweep(&p, &machine, &cfg, &FaultSweepConfig::default()).unwrap();
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.report, b.report);
+        }
+        let table = degradation_table(&rows);
+        assert_eq!(table.lines().count(), 5);
+        assert!(table.contains("dead%"));
     }
 }

@@ -29,10 +29,7 @@ fn shade(value: f64, max: f64) -> char {
 /// let art = node_heatmap_from(Mesh::new(3, 2), [((0, 0).into(), 10.0)].into_iter());
 /// assert!(art.contains('@'));
 /// ```
-pub fn node_heatmap_from(
-    mesh: Mesh,
-    service: impl Iterator<Item = (NodeId, f64)>,
-) -> String {
+pub fn node_heatmap_from(mesh: Mesh, service: impl Iterator<Item = (NodeId, f64)>) -> String {
     let map: HashMap<NodeId, f64> = service.collect();
     let max = map.values().copied().fold(0.0, f64::max);
     let mut out = String::new();

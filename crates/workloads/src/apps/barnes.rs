@@ -55,12 +55,7 @@ mod tests {
     #[test]
     fn has_long_statements() {
         let w = build(Scale::Tiny);
-        let max_reads = w.program.nests()[0]
-            .body
-            .iter()
-            .map(|s| s.reads().len())
-            .max()
-            .unwrap();
+        let max_reads = w.program.nests()[0].body.iter().map(|s| s.reads().len()).max().unwrap();
         assert!(max_reads >= 6, "Barnes statements should be long, got {max_reads}");
     }
 }

@@ -53,10 +53,8 @@ mod tests {
     #[test]
     fn uses_division() {
         let w = build(Scale::Tiny);
-        let has_div = w.program.nests()[0]
-            .body
-            .iter()
-            .any(|s| s.rhs.ops().contains(&dmcp_ir::BinOp::Div));
+        let has_div =
+            w.program.nests()[0].body.iter().any(|s| s.rhs.ops().contains(&dmcp_ir::BinOp::Div));
         assert!(has_div);
     }
 }

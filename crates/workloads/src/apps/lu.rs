@@ -45,10 +45,7 @@ mod tests {
     fn mix_is_muldiv_heavy() {
         let w = build(Scale::Tiny);
         let ops = w.program.nests()[0].body[0].rhs.ops();
-        let muldiv = ops
-            .iter()
-            .filter(|o| o.category() == dmcp_ir::op::OpCategory::MulDiv)
-            .count();
+        let muldiv = ops.iter().filter(|o| o.category() == dmcp_ir::op::OpCategory::MulDiv).count();
         assert!(muldiv * 2 >= ops.len(), "LU should be mul/div heavy: {ops:?}");
     }
 }

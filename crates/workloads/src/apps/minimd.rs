@@ -50,9 +50,7 @@ mod tests {
     fn neighbour_lists_are_mostly_local() {
         let w = build(Scale::Tiny);
         let nb = dmcp_ir::ArrayId::from_index(8);
-        let local = (0..64)
-            .filter(|&i| (w.data.get(nb, i) - i as f64).abs() <= 8.0)
-            .count();
+        let local = (0..64).filter(|&i| (w.data.get(nb, i) - i as f64).abs() <= 8.0).count();
         assert!(local > 40, "only {local}/64 neighbours local");
     }
 }

@@ -48,11 +48,8 @@ mod tests {
     #[test]
     fn spmv_reads_through_column_indices() {
         let w = build(Scale::Tiny);
-        let indirect_reads = w.program.nests()[0].body[0]
-            .reads()
-            .iter()
-            .filter(|r| !r.is_affine())
-            .count();
+        let indirect_reads =
+            w.program.nests()[0].body[0].reads().iter().filter(|r| !r.is_affine()).count();
         assert_eq!(indirect_reads, 2);
     }
 }

@@ -50,12 +50,7 @@ mod tests {
     #[test]
     fn stencil_statements_are_wide() {
         let w = build(Scale::Tiny);
-        let max_reads = w.program.nests()[0]
-            .body
-            .iter()
-            .map(|s| s.reads().len())
-            .max()
-            .unwrap();
+        let max_reads = w.program.nests()[0].body.iter().map(|s| s.reads().len()).max().unwrap();
         assert!(max_reads >= 5, "Ocean stencils should be wide, got {max_reads}");
     }
 
@@ -63,9 +58,8 @@ mod tests {
     fn statements_share_the_cur_neighbourhood() {
         let w = build(Scale::Tiny);
         let body = &w.program.nests()[0].body;
-        let cur_reads = |s: &dmcp_ir::Statement| {
-            s.reads().iter().filter(|r| r.array.index() == 0).count()
-        };
+        let cur_reads =
+            |s: &dmcp_ir::Statement| s.reads().iter().filter(|r| r.array.index() == 0).count();
         assert!(cur_reads(&body[0]) >= 4);
         assert!(cur_reads(&body[1]) >= 4);
     }

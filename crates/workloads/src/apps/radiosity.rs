@@ -31,7 +31,7 @@ pub fn build(scale: Scale) -> Workload {
     let mut program = b.build();
     gen::set_analyzability(&mut program, meta::RADIOSITY.analyzable, 0x4AD);
     let mut data = program.initial_data();
-    data.fill(pidx, &gen::clustered_indices(n as u64, n as u64, 32, 0x4AE));
+    data.fill(pidx, &gen::clustered_indices(n as u64, n as u64, 32, 0x4));
     data.fill(vis, &gen::random_indices(n as u64, 256, 0x4AF));
     Workload { name: "Radiosity", program, data, paper: meta::RADIOSITY }
 }

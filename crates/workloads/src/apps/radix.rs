@@ -55,21 +55,14 @@ mod tests {
     #[test]
     fn has_indirect_write() {
         let w = build(Scale::Tiny);
-        let indirect_lhs = w.program.nests()[0]
-            .body
-            .iter()
-            .any(|s| !s.lhs.is_affine());
+        let indirect_lhs = w.program.nests()[0].body.iter().any(|s| !s.lhs.is_affine());
         assert!(indirect_lhs, "Radix needs a may-dependent histogram write");
     }
 
     #[test]
     fn shift_ops_present() {
         let w = build(Scale::Tiny);
-        let ops: Vec<_> = w.program.nests()[0]
-            .body
-            .iter()
-            .flat_map(|s| s.rhs.ops())
-            .collect();
+        let ops: Vec<_> = w.program.nests()[0].body.iter().flat_map(|s| s.rhs.ops()).collect();
         assert!(ops.contains(&dmcp_ir::BinOp::Shr));
         assert!(ops.contains(&dmcp_ir::BinOp::And));
     }

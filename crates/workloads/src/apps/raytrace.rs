@@ -30,9 +30,9 @@ pub fn build(scale: Scale) -> Workload {
     )
     .expect("raytrace statements parse");
     let mut program = b.build();
-    gen::set_analyzability(&mut program, meta::RAYTRACE.analyzable, 0x4A11);
+    gen::set_analyzability(&mut program, meta::RAYTRACE.analyzable, 0xA);
     let mut data = program.initial_data();
-    data.fill(oid, &gen::clustered_indices(n as u64, objects as u64, 6, 0x4A12));
+    data.fill(oid, &gen::clustered_indices(n as u64, objects as u64, 6, 0x2));
     Workload { name: "Raytrace", program, data, paper: meta::RAYTRACE }
 }
 

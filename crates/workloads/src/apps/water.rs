@@ -47,15 +47,8 @@ mod tests {
     #[test]
     fn mix_is_addsub_heavy() {
         let w = build(Scale::Tiny);
-        let ops: Vec<_> = w.program.nests()[0]
-            .body
-            .iter()
-            .flat_map(|s| s.rhs.ops())
-            .collect();
-        let addsub = ops
-            .iter()
-            .filter(|o| o.category() == dmcp_ir::op::OpCategory::AddSub)
-            .count();
+        let ops: Vec<_> = w.program.nests()[0].body.iter().flat_map(|s| s.rhs.ops()).collect();
+        let addsub = ops.iter().filter(|o| o.category() == dmcp_ir::op::OpCategory::AddSub).count();
         assert!(addsub * 2 > ops.len(), "Water should be add/sub heavy: {ops:?}");
     }
 

@@ -1,9 +1,7 @@
 //! Shared workload-generation utilities.
 
 use dmcp_ir::Program;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use dmcp_mach::rng::Rng64;
 
 /// Imposes an exact compile-time analyzability fraction on a program
 /// (paper Table 1).
@@ -25,9 +23,8 @@ pub fn set_analyzability(program: &mut Program, target: f64, seed: u64) {
     }
     let unanalyzable = ((1.0 - target) * total as f64).round() as usize;
     let mut indices: Vec<usize> = (0..total).collect();
-    indices.shuffle(&mut SmallRng::seed_from_u64(seed));
-    let chosen: std::collections::HashSet<usize> =
-        indices.into_iter().take(unanalyzable).collect();
+    Rng64::new(seed).shuffle(&mut indices);
+    let chosen: std::collections::HashSet<usize> = indices.into_iter().take(unanalyzable).collect();
     let mut k = 0usize;
     for nest in program.nests_mut() {
         for stmt in &mut nest.body {
@@ -45,29 +42,29 @@ pub fn set_analyzability(program: &mut Program, target: f64, seed: u64) {
 /// scatter accesses, e.g. Radix keys or MiniXyce column indices).
 pub fn permutation(n: u64, seed: u64) -> Vec<f64> {
     let mut v: Vec<f64> = (0..n).map(|x| x as f64).collect();
-    v.shuffle(&mut SmallRng::seed_from_u64(seed));
+    Rng64::new(seed).shuffle(&mut v);
     v
 }
 
 /// Seeded random indices in `0..bound` (with repetitions), e.g. neighbour
 /// lists.
 pub fn random_indices(n: u64, bound: u64, seed: u64) -> Vec<f64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(0..bound.max(1)) as f64).collect()
+    let mut rng = Rng64::new(seed);
+    (0..n).map(|_| rng.gen_range(bound.max(1)) as f64).collect()
 }
 
 /// *Clustered* indices: mostly near `i` with occasional far jumps — the
 /// access shape of spatial data structures (Barnes cells, MiniMD
 /// neighbours).
 pub fn clustered_indices(n: u64, bound: u64, spread: u64, seed: u64) -> Vec<f64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     (0..n)
         .map(|i| {
-            if rng.gen_ratio(1, 8) {
-                rng.gen_range(0..bound.max(1)) as f64
+            if rng.gen_range(8) == 0 {
+                rng.gen_range(bound.max(1)) as f64
             } else {
                 let lo = i.saturating_sub(spread / 2);
-                (lo + rng.gen_range(0..spread.max(1))).min(bound - 1) as f64
+                (lo + rng.gen_range(spread.max(1))).min(bound - 1) as f64
             }
         })
         .collect()
@@ -83,11 +80,7 @@ mod tests {
         for n in ["A", "B", "C", "D"] {
             b.array(n, &[64], 8);
         }
-        b.nest(
-            &[("i", 0, 64)],
-            &["A[i] = B[i] + C[i] + D[i]", "B[i] = A[i] * C[i]"],
-        )
-        .unwrap();
+        b.nest(&[("i", 0, 64)], &["A[i] = B[i] + C[i] + D[i]", "B[i] = A[i] * C[i]"]).unwrap();
         b.build()
     }
 
@@ -141,11 +134,7 @@ mod tests {
     #[test]
     fn clustered_indices_are_mostly_local() {
         let idx = clustered_indices(1000, 1000, 16, 11);
-        let local = idx
-            .iter()
-            .enumerate()
-            .filter(|(i, &x)| (x - *i as f64).abs() <= 16.0)
-            .count();
+        let local = idx.iter().enumerate().filter(|(i, &x)| (x - *i as f64).abs() <= 16.0).count();
         assert!(local > 700, "only {local}/1000 local");
         for &x in &idx {
             assert!((0.0..1000.0).contains(&x));

@@ -75,32 +75,25 @@ pub const BARNES: PaperRow =
 pub const CHOLESKY: PaperRow =
     row!(0.972, 0.918, (0.394, 0.476, 0.130), 0.15, 2.2, 0.08, 0.10, false);
 /// FFT (Splash-2).
-pub const FFT: PaperRow =
-    row!(0.923, 0.845, (0.331, 0.465, 0.204), 0.35, 2.8, 0.11, 0.18, false);
+pub const FFT: PaperRow = row!(0.923, 0.845, (0.331, 0.465, 0.204), 0.35, 2.8, 0.11, 0.18, false);
 /// FMM (Splash-2 fast multipole).
-pub const FMM: PaperRow =
-    row!(0.744, 0.706, (0.472, 0.453, 0.075), 0.38, 3.1, 0.12, 0.17, false);
+pub const FMM: PaperRow = row!(0.744, 0.706, (0.472, 0.453, 0.075), 0.38, 3.1, 0.12, 0.17, false);
 /// LU (Splash-2 dense factorisation).
-pub const LU: PaperRow =
-    row!(0.907, 0.857, (0.418, 0.516, 0.066), 0.18, 2.4, 0.09, 0.12, false);
+pub const LU: PaperRow = row!(0.907, 0.857, (0.418, 0.516, 0.066), 0.18, 2.4, 0.09, 0.12, false);
 /// Ocean (Splash-2 stencil solver).
-pub const OCEAN: PaperRow =
-    row!(0.773, 0.80, (0.522, 0.414, 0.064), 0.52, 4.5, 0.14, 0.24, true);
+pub const OCEAN: PaperRow = row!(0.773, 0.80, (0.522, 0.414, 0.064), 0.52, 4.5, 0.14, 0.24, true);
 /// Radiosity (Splash-2).
 pub const RADIOSITY: PaperRow =
     row!(0.773, 0.78, (0.462, 0.334, 0.204), 0.33, 3.0, 0.11, 0.19, true);
 /// Radix (Splash-2 integer sort).
-pub const RADIX: PaperRow =
-    row!(0.842, 0.891, (0.390, 0.387, 0.223), 0.30, 2.5, 0.10, 0.21, false);
+pub const RADIX: PaperRow = row!(0.842, 0.891, (0.390, 0.387, 0.223), 0.30, 2.5, 0.10, 0.21, false);
 /// Raytrace (Splash-2).
 pub const RAYTRACE: PaperRow =
     row!(0.82, 0.802, (0.434, 0.497, 0.069), 0.32, 2.9, 0.11, 0.16, true);
 /// Water (Splash-2 molecular dynamics).
-pub const WATER: PaperRow =
-    row!(0.88, 0.776, (0.581, 0.282, 0.137), 0.36, 3.2, 0.12, 0.18, true);
+pub const WATER: PaperRow = row!(0.88, 0.776, (0.581, 0.282, 0.137), 0.36, 3.2, 0.12, 0.18, true);
 /// MiniMD (Mantevo molecular dynamics proxy).
-pub const MINIMD: PaperRow =
-    row!(0.91, 0.874, (0.444, 0.372, 0.184), 0.50, 3.8, 0.13, 0.23, true);
+pub const MINIMD: PaperRow = row!(0.91, 0.874, (0.444, 0.372, 0.184), 0.50, 3.8, 0.13, 0.23, true);
 /// MiniXyce (Mantevo circuit-simulation proxy).
 pub const MINIXYCE: PaperRow =
     row!(0.938, 0.865, (0.463, 0.367, 0.170), 0.34, 2.7, 0.10, 0.17, false);

@@ -11,7 +11,12 @@ use dmcp::mem::MemoryMode;
 use dmcp::sim::{run_schedules, SimOptions};
 use dmcp::workloads::{by_name, Scale};
 
-fn run(w: &dmcp::workloads::Workload, machine: &MachineConfig, mode: MemoryMode, optimized: bool) -> f64 {
+fn run(
+    w: &dmcp::workloads::Workload,
+    machine: &MachineConfig,
+    mode: MemoryMode,
+    optimized: bool,
+) -> f64 {
     let part = Partitioner::new(machine, &w.program, PartitionConfig::default());
     let out = if optimized {
         part.partition_with_data(&w.program, &w.data)
@@ -43,14 +48,7 @@ fn main() {
             let machine = MachineConfig::knl_like().with_cluster(cluster);
             let orig = run(&w, &machine, memory, false) / reference;
             let opt = run(&w, &machine, memory, true) / reference;
-            println!(
-                "({}{},{})  {:>16.3} {:>10.3}",
-                cluster.letter(),
-                cluster,
-                memory,
-                orig,
-                opt
-            );
+            println!("({}{},{})  {:>16.3} {:>10.3}", cluster.letter(), cluster, memory, orig, opt);
         }
     }
 

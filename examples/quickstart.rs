@@ -15,11 +15,8 @@ fn main() {
     for name in ["A", "B", "C", "D", "E"] {
         b.array(name, &[1024], 64);
     }
-    b.nest(
-        &[("t", 0, 4), ("i", 0, 1024)],
-        &["A[i] = B[i] + C[i] + D[i] + E[i]"],
-    )
-    .expect("statement parses");
+    b.nest(&[("t", 0, 4), ("i", 0, 1024)], &["A[i] = B[i] + C[i] + D[i] + E[i]"])
+        .expect("statement parses");
     let program = b.build();
 
     let machine = MachineConfig::knl_like();

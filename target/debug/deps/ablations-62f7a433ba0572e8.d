@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-62f7a433ba0572e8.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-62f7a433ba0572e8: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

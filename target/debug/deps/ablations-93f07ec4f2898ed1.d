@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-93f07ec4f2898ed1.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-93f07ec4f2898ed1: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

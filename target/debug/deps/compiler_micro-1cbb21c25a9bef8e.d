@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compiler_micro-1cbb21c25a9bef8e.d: crates/bench/benches/compiler_micro.rs
+
+/root/repo/target/debug/deps/compiler_micro-1cbb21c25a9bef8e: crates/bench/benches/compiler_micro.rs
+
+crates/bench/benches/compiler_micro.rs:

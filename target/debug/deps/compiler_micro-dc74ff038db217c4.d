@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compiler_micro-dc74ff038db217c4.d: crates/bench/benches/compiler_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompiler_micro-dc74ff038db217c4.rmeta: crates/bench/benches/compiler_micro.rs Cargo.toml
+
+crates/bench/benches/compiler_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

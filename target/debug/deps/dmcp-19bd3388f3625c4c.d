@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dmcp-19bd3388f3625c4c.d: crates/dmcp/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdmcp-19bd3388f3625c4c.rmeta: crates/dmcp/src/lib.rs Cargo.toml
+
+crates/dmcp/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

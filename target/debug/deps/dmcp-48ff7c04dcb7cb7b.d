@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dmcp-48ff7c04dcb7cb7b.d: crates/dmcp/src/lib.rs
+
+/root/repo/target/debug/deps/libdmcp-48ff7c04dcb7cb7b.rlib: crates/dmcp/src/lib.rs
+
+/root/repo/target/debug/deps/libdmcp-48ff7c04dcb7cb7b.rmeta: crates/dmcp/src/lib.rs
+
+crates/dmcp/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dmcp-e92ed3ea94234990.d: crates/dmcp/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdmcp-e92ed3ea94234990.rmeta: crates/dmcp/src/lib.rs Cargo.toml
+
+crates/dmcp/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

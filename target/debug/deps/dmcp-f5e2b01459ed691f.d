@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dmcp-f5e2b01459ed691f.d: crates/dmcp/src/lib.rs
+
+/root/repo/target/debug/deps/dmcp-f5e2b01459ed691f: crates/dmcp/src/lib.rs
+
+crates/dmcp/src/lib.rs:

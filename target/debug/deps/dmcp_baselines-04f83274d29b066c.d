@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dmcp_baselines-04f83274d29b066c.d: crates/baselines/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdmcp_baselines-04f83274d29b066c.rmeta: crates/baselines/src/lib.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dmcp_baselines-8c66239f9d5ab06b.d: crates/baselines/src/lib.rs
+
+/root/repo/target/debug/deps/dmcp_baselines-8c66239f9d5ab06b: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dmcp_baselines-fade7f667836b16b.d: crates/baselines/src/lib.rs
+
+/root/repo/target/debug/deps/libdmcp_baselines-fade7f667836b16b.rlib: crates/baselines/src/lib.rs
+
+/root/repo/target/debug/deps/libdmcp_baselines-fade7f667836b16b.rmeta: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dmcp_bench-7647fc4ae4adf0a5.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libdmcp_bench-7647fc4ae4adf0a5.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libdmcp_bench-7647fc4ae4adf0a5.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

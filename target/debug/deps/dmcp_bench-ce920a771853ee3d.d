@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dmcp_bench-ce920a771853ee3d.d: crates/bench/src/lib.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdmcp_bench-ce920a771853ee3d.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

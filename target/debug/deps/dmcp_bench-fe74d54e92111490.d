@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dmcp_bench-fe74d54e92111490.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/dmcp_bench-fe74d54e92111490: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/dmcp_core-f6b6a18a9a83bd71.d: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/l1model.rs crates/core/src/layout.rs crates/core/src/mst.rs crates/core/src/partitioner.rs crates/core/src/split.rs crates/core/src/stats.rs crates/core/src/step.rs crates/core/src/sync.rs crates/core/src/unionfind.rs crates/core/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdmcp_core-f6b6a18a9a83bd71.rmeta: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/l1model.rs crates/core/src/layout.rs crates/core/src/mst.rs crates/core/src/partitioner.rs crates/core/src/split.rs crates/core/src/stats.rs crates/core/src/step.rs crates/core/src/sync.rs crates/core/src/unionfind.rs crates/core/src/window.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/balance.rs:
+crates/core/src/error.rs:
+crates/core/src/explain.rs:
+crates/core/src/l1model.rs:
+crates/core/src/layout.rs:
+crates/core/src/mst.rs:
+crates/core/src/partitioner.rs:
+crates/core/src/split.rs:
+crates/core/src/stats.rs:
+crates/core/src/step.rs:
+crates/core/src/sync.rs:
+crates/core/src/unionfind.rs:
+crates/core/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

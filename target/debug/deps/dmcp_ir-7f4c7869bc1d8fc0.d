@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dmcp_ir-7f4c7869bc1d8fc0.d: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/deps.rs crates/ir/src/display.rs crates/ir/src/exec.rs crates/ir/src/expr.rs crates/ir/src/inspector.rs crates/ir/src/lexer.rs crates/ir/src/nested.rs crates/ir/src/op.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdmcp_ir-7f4c7869bc1d8fc0.rmeta: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/deps.rs crates/ir/src/display.rs crates/ir/src/exec.rs crates/ir/src/expr.rs crates/ir/src/inspector.rs crates/ir/src/lexer.rs crates/ir/src/nested.rs crates/ir/src/op.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/transform.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/access.rs:
+crates/ir/src/deps.rs:
+crates/ir/src/display.rs:
+crates/ir/src/exec.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/inspector.rs:
+crates/ir/src/lexer.rs:
+crates/ir/src/nested.rs:
+crates/ir/src/op.rs:
+crates/ir/src/parser.rs:
+crates/ir/src/program.rs:
+crates/ir/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dmcp_ir-db82097fffb9ac1e.d: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/deps.rs crates/ir/src/display.rs crates/ir/src/exec.rs crates/ir/src/expr.rs crates/ir/src/inspector.rs crates/ir/src/lexer.rs crates/ir/src/nested.rs crates/ir/src/op.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/transform.rs
+
+/root/repo/target/debug/deps/dmcp_ir-db82097fffb9ac1e: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/deps.rs crates/ir/src/display.rs crates/ir/src/exec.rs crates/ir/src/expr.rs crates/ir/src/inspector.rs crates/ir/src/lexer.rs crates/ir/src/nested.rs crates/ir/src/op.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/transform.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/access.rs:
+crates/ir/src/deps.rs:
+crates/ir/src/display.rs:
+crates/ir/src/exec.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/inspector.rs:
+crates/ir/src/lexer.rs:
+crates/ir/src/nested.rs:
+crates/ir/src/op.rs:
+crates/ir/src/parser.rs:
+crates/ir/src/program.rs:
+crates/ir/src/transform.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dmcp_mach-25129529f0759bc2.d: crates/mach/src/lib.rs crates/mach/src/cluster.rs crates/mach/src/config.rs crates/mach/src/fault.rs crates/mach/src/mesh.rs crates/mach/src/node.rs crates/mach/src/rng.rs crates/mach/src/routing.rs
+
+/root/repo/target/debug/deps/libdmcp_mach-25129529f0759bc2.rlib: crates/mach/src/lib.rs crates/mach/src/cluster.rs crates/mach/src/config.rs crates/mach/src/fault.rs crates/mach/src/mesh.rs crates/mach/src/node.rs crates/mach/src/rng.rs crates/mach/src/routing.rs
+
+/root/repo/target/debug/deps/libdmcp_mach-25129529f0759bc2.rmeta: crates/mach/src/lib.rs crates/mach/src/cluster.rs crates/mach/src/config.rs crates/mach/src/fault.rs crates/mach/src/mesh.rs crates/mach/src/node.rs crates/mach/src/rng.rs crates/mach/src/routing.rs
+
+crates/mach/src/lib.rs:
+crates/mach/src/cluster.rs:
+crates/mach/src/config.rs:
+crates/mach/src/fault.rs:
+crates/mach/src/mesh.rs:
+crates/mach/src/node.rs:
+crates/mach/src/rng.rs:
+crates/mach/src/routing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dmcp_mach-382995c67f189fe5.d: crates/mach/src/lib.rs crates/mach/src/cluster.rs crates/mach/src/config.rs crates/mach/src/fault.rs crates/mach/src/mesh.rs crates/mach/src/node.rs crates/mach/src/rng.rs crates/mach/src/routing.rs
+
+/root/repo/target/debug/deps/dmcp_mach-382995c67f189fe5: crates/mach/src/lib.rs crates/mach/src/cluster.rs crates/mach/src/config.rs crates/mach/src/fault.rs crates/mach/src/mesh.rs crates/mach/src/node.rs crates/mach/src/rng.rs crates/mach/src/routing.rs
+
+crates/mach/src/lib.rs:
+crates/mach/src/cluster.rs:
+crates/mach/src/config.rs:
+crates/mach/src/fault.rs:
+crates/mach/src/mesh.rs:
+crates/mach/src/node.rs:
+crates/mach/src/rng.rs:
+crates/mach/src/routing.rs:

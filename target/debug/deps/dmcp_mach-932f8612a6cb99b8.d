@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dmcp_mach-932f8612a6cb99b8.d: crates/mach/src/lib.rs crates/mach/src/cluster.rs crates/mach/src/config.rs crates/mach/src/fault.rs crates/mach/src/mesh.rs crates/mach/src/node.rs crates/mach/src/rng.rs crates/mach/src/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdmcp_mach-932f8612a6cb99b8.rmeta: crates/mach/src/lib.rs crates/mach/src/cluster.rs crates/mach/src/config.rs crates/mach/src/fault.rs crates/mach/src/mesh.rs crates/mach/src/node.rs crates/mach/src/rng.rs crates/mach/src/routing.rs Cargo.toml
+
+crates/mach/src/lib.rs:
+crates/mach/src/cluster.rs:
+crates/mach/src/config.rs:
+crates/mach/src/fault.rs:
+crates/mach/src/mesh.rs:
+crates/mach/src/node.rs:
+crates/mach/src/rng.rs:
+crates/mach/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dmcp_mem-58eb0a236de536e6.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/memmode.rs crates/mem/src/page.rs crates/mem/src/predictor.rs crates/mem/src/snuca.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdmcp_mem-58eb0a236de536e6.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/memmode.rs crates/mem/src/page.rs crates/mem/src/predictor.rs crates/mem/src/snuca.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/memmode.rs:
+crates/mem/src/page.rs:
+crates/mem/src/predictor.rs:
+crates/mem/src/snuca.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dmcp_mem-90fa3aacd255df26.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/memmode.rs crates/mem/src/page.rs crates/mem/src/predictor.rs crates/mem/src/snuca.rs
+
+/root/repo/target/debug/deps/dmcp_mem-90fa3aacd255df26: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/memmode.rs crates/mem/src/page.rs crates/mem/src/predictor.rs crates/mem/src/snuca.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/memmode.rs:
+crates/mem/src/page.rs:
+crates/mem/src/predictor.rs:
+crates/mem/src/snuca.rs:

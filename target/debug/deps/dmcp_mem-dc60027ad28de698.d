@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dmcp_mem-dc60027ad28de698.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/memmode.rs crates/mem/src/page.rs crates/mem/src/predictor.rs crates/mem/src/snuca.rs
+
+/root/repo/target/debug/deps/libdmcp_mem-dc60027ad28de698.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/memmode.rs crates/mem/src/page.rs crates/mem/src/predictor.rs crates/mem/src/snuca.rs
+
+/root/repo/target/debug/deps/libdmcp_mem-dc60027ad28de698.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/memmode.rs crates/mem/src/page.rs crates/mem/src/predictor.rs crates/mem/src/snuca.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/memmode.rs:
+crates/mem/src/page.rs:
+crates/mem/src/predictor.rs:
+crates/mem/src/snuca.rs:

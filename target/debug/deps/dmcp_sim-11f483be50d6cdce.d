@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dmcp_sim-11f483be50d6cdce.d: crates/sim/src/lib.rs crates/sim/src/cachesim.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/network.rs crates/sim/src/report.rs crates/sim/src/scenarios.rs crates/sim/src/viz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdmcp_sim-11f483be50d6cdce.rmeta: crates/sim/src/lib.rs crates/sim/src/cachesim.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/network.rs crates/sim/src/report.rs crates/sim/src/scenarios.rs crates/sim/src/viz.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cachesim.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/network.rs:
+crates/sim/src/report.rs:
+crates/sim/src/scenarios.rs:
+crates/sim/src/viz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

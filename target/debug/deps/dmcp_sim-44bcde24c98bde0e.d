@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dmcp_sim-44bcde24c98bde0e.d: crates/sim/src/lib.rs crates/sim/src/cachesim.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/network.rs crates/sim/src/report.rs crates/sim/src/scenarios.rs crates/sim/src/viz.rs
+
+/root/repo/target/debug/deps/libdmcp_sim-44bcde24c98bde0e.rlib: crates/sim/src/lib.rs crates/sim/src/cachesim.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/network.rs crates/sim/src/report.rs crates/sim/src/scenarios.rs crates/sim/src/viz.rs
+
+/root/repo/target/debug/deps/libdmcp_sim-44bcde24c98bde0e.rmeta: crates/sim/src/lib.rs crates/sim/src/cachesim.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/network.rs crates/sim/src/report.rs crates/sim/src/scenarios.rs crates/sim/src/viz.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cachesim.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/network.rs:
+crates/sim/src/report.rs:
+crates/sim/src/scenarios.rs:
+crates/sim/src/viz.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dmcp_sim-e37524b8b0cbd5a8.d: crates/sim/src/lib.rs crates/sim/src/cachesim.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/network.rs crates/sim/src/report.rs crates/sim/src/scenarios.rs crates/sim/src/viz.rs
+
+/root/repo/target/debug/deps/dmcp_sim-e37524b8b0cbd5a8: crates/sim/src/lib.rs crates/sim/src/cachesim.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/network.rs crates/sim/src/report.rs crates/sim/src/scenarios.rs crates/sim/src/viz.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cachesim.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/network.rs:
+crates/sim/src/report.rs:
+crates/sim/src/scenarios.rs:
+crates/sim/src/viz.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/dmcp_workloads-6d7d05e511e71e26.d: crates/workloads/src/lib.rs crates/workloads/src/apps/mod.rs crates/workloads/src/apps/barnes.rs crates/workloads/src/apps/cholesky.rs crates/workloads/src/apps/fft.rs crates/workloads/src/apps/fmm.rs crates/workloads/src/apps/lu.rs crates/workloads/src/apps/minimd.rs crates/workloads/src/apps/minixyce.rs crates/workloads/src/apps/ocean.rs crates/workloads/src/apps/radiosity.rs crates/workloads/src/apps/radix.rs crates/workloads/src/apps/raytrace.rs crates/workloads/src/apps/water.rs crates/workloads/src/gen.rs crates/workloads/src/meta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdmcp_workloads-6d7d05e511e71e26.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps/mod.rs crates/workloads/src/apps/barnes.rs crates/workloads/src/apps/cholesky.rs crates/workloads/src/apps/fft.rs crates/workloads/src/apps/fmm.rs crates/workloads/src/apps/lu.rs crates/workloads/src/apps/minimd.rs crates/workloads/src/apps/minixyce.rs crates/workloads/src/apps/ocean.rs crates/workloads/src/apps/radiosity.rs crates/workloads/src/apps/radix.rs crates/workloads/src/apps/raytrace.rs crates/workloads/src/apps/water.rs crates/workloads/src/gen.rs crates/workloads/src/meta.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps/mod.rs:
+crates/workloads/src/apps/barnes.rs:
+crates/workloads/src/apps/cholesky.rs:
+crates/workloads/src/apps/fft.rs:
+crates/workloads/src/apps/fmm.rs:
+crates/workloads/src/apps/lu.rs:
+crates/workloads/src/apps/minimd.rs:
+crates/workloads/src/apps/minixyce.rs:
+crates/workloads/src/apps/ocean.rs:
+crates/workloads/src/apps/radiosity.rs:
+crates/workloads/src/apps/radix.rs:
+crates/workloads/src/apps/raytrace.rs:
+crates/workloads/src/apps/water.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/meta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

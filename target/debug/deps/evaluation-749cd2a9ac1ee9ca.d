@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluation-749cd2a9ac1ee9ca.d: crates/bench/benches/evaluation.rs
+
+/root/repo/target/debug/deps/evaluation-749cd2a9ac1ee9ca: crates/bench/benches/evaluation.rs
+
+crates/bench/benches/evaluation.rs:

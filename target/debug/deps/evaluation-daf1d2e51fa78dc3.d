@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evaluation-daf1d2e51fa78dc3.d: crates/bench/benches/evaluation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevaluation-daf1d2e51fa78dc3.rmeta: crates/bench/benches/evaluation.rs Cargo.toml
+
+crates/bench/benches/evaluation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-2a7150fddae9973d.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-2a7150fddae9973d: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-ba259d7f9cc6b521.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-ba259d7f9cc6b521: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

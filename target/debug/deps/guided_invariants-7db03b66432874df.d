@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guided_invariants-7db03b66432874df.d: crates/dmcp/../../tests/guided_invariants.rs
+
+/root/repo/target/debug/deps/guided_invariants-7db03b66432874df: crates/dmcp/../../tests/guided_invariants.rs
+
+crates/dmcp/../../tests/guided_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/guided_invariants-d1d583ff1f3ec820.d: crates/dmcp/../../tests/guided_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguided_invariants-d1d583ff1f3ec820.rmeta: crates/dmcp/../../tests/guided_invariants.rs Cargo.toml
+
+crates/dmcp/../../tests/guided_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

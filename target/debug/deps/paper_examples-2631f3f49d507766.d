@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-2631f3f49d507766.d: crates/dmcp/../../tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-2631f3f49d507766.rmeta: crates/dmcp/../../tests/paper_examples.rs Cargo.toml
+
+crates/dmcp/../../tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-fa6bfc345d25ab56.d: crates/dmcp/../../tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-fa6bfc345d25ab56: crates/dmcp/../../tests/paper_examples.rs
+
+crates/dmcp/../../tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partitioner-6e01dd3e8bb8c6f2.d: crates/bench/benches/partitioner.rs
+
+/root/repo/target/debug/deps/partitioner-6e01dd3e8bb8c6f2: crates/bench/benches/partitioner.rs
+
+crates/bench/benches/partitioner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partitioner-ad1209f4bcb3dfe8.d: crates/bench/benches/partitioner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartitioner-ad1209f4bcb3dfe8.rmeta: crates/bench/benches/partitioner.rs Cargo.toml
+
+crates/bench/benches/partitioner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

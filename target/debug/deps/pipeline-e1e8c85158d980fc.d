@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-e1e8c85158d980fc.d: crates/dmcp/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-e1e8c85158d980fc.rmeta: crates/dmcp/../../tests/pipeline.rs Cargo.toml
+
+crates/dmcp/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

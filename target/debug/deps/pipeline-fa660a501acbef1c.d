@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-fa660a501acbef1c.d: crates/dmcp/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-fa660a501acbef1c: crates/dmcp/../../tests/pipeline.rs
+
+crates/dmcp/../../tests/pipeline.rs:

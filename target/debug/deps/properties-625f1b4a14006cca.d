@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-625f1b4a14006cca.d: crates/dmcp/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-625f1b4a14006cca: crates/dmcp/../../tests/properties.rs
+
+crates/dmcp/../../tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7534b5c7c440a57f.d: crates/dmcp/../../tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7534b5c7c440a57f.rmeta: crates/dmcp/../../tests/properties.rs Cargo.toml
+
+crates/dmcp/../../tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-4c502d984ec031a0.d: crates/dmcp/../../tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-4c502d984ec031a0: crates/dmcp/../../tests/robustness.rs
+
+crates/dmcp/../../tests/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-e61942db4b28a111.d: crates/dmcp/../../tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-e61942db4b28a111.rmeta: crates/dmcp/../../tests/robustness.rs Cargo.toml
+
+crates/dmcp/../../tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-19890cfc9448db4c.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-19890cfc9448db4c: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

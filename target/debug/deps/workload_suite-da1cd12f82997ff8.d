@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_suite-da1cd12f82997ff8.d: crates/dmcp/../../tests/workload_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_suite-da1cd12f82997ff8.rmeta: crates/dmcp/../../tests/workload_suite.rs Cargo.toml
+
+crates/dmcp/../../tests/workload_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

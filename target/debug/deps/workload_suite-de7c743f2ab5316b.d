@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_suite-de7c743f2ab5316b.d: crates/dmcp/../../tests/workload_suite.rs
+
+/root/repo/target/debug/deps/workload_suite-de7c743f2ab5316b: crates/dmcp/../../tests/workload_suite.rs
+
+crates/dmcp/../../tests/workload_suite.rs:

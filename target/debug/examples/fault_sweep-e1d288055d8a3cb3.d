@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_sweep-e1d288055d8a3cb3.d: crates/dmcp/../../examples/fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_sweep-e1d288055d8a3cb3.rmeta: crates/dmcp/../../examples/fault_sweep.rs Cargo.toml
+
+crates/dmcp/../../examples/fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

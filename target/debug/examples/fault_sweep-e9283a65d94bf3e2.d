@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_sweep-e9283a65d94bf3e2.d: crates/dmcp/../../examples/fault_sweep.rs
+
+/root/repo/target/debug/examples/fault_sweep-e9283a65d94bf3e2: crates/dmcp/../../examples/fault_sweep.rs
+
+crates/dmcp/../../examples/fault_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kernel_explorer-84fbec7f0231dc2f.d: crates/dmcp/../../examples/kernel_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkernel_explorer-84fbec7f0231dc2f.rmeta: crates/dmcp/../../examples/kernel_explorer.rs Cargo.toml
+
+crates/dmcp/../../examples/kernel_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kernel_explorer-a61b066ab589ec07.d: crates/dmcp/../../examples/kernel_explorer.rs
+
+/root/repo/target/debug/examples/kernel_explorer-a61b066ab589ec07: crates/dmcp/../../examples/kernel_explorer.rs
+
+crates/dmcp/../../examples/kernel_explorer.rs:

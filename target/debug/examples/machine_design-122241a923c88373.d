@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/machine_design-122241a923c88373.d: crates/dmcp/../../examples/machine_design.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmachine_design-122241a923c88373.rmeta: crates/dmcp/../../examples/machine_design.rs Cargo.toml
+
+crates/dmcp/../../examples/machine_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

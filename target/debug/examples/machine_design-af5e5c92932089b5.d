@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/machine_design-af5e5c92932089b5.d: crates/dmcp/../../examples/machine_design.rs
+
+/root/repo/target/debug/examples/machine_design-af5e5c92932089b5: crates/dmcp/../../examples/machine_design.rs
+
+crates/dmcp/../../examples/machine_design.rs:

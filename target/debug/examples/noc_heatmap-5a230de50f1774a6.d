@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noc_heatmap-5a230de50f1774a6.d: crates/dmcp/../../examples/noc_heatmap.rs
+
+/root/repo/target/debug/examples/noc_heatmap-5a230de50f1774a6: crates/dmcp/../../examples/noc_heatmap.rs
+
+crates/dmcp/../../examples/noc_heatmap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/noc_heatmap-8f3c2de3ad63b1fa.d: crates/dmcp/../../examples/noc_heatmap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnoc_heatmap-8f3c2de3ad63b1fa.rmeta: crates/dmcp/../../examples/noc_heatmap.rs Cargo.toml
+
+crates/dmcp/../../examples/noc_heatmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plan_explain-139efa9ec1089f4f.d: crates/dmcp/../../examples/plan_explain.rs
+
+/root/repo/target/debug/examples/plan_explain-139efa9ec1089f4f: crates/dmcp/../../examples/plan_explain.rs
+
+crates/dmcp/../../examples/plan_explain.rs:

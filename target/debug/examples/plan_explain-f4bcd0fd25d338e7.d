@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/plan_explain-f4bcd0fd25d338e7.d: crates/dmcp/../../examples/plan_explain.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplan_explain-f4bcd0fd25d338e7.rmeta: crates/dmcp/../../examples/plan_explain.rs Cargo.toml
+
+crates/dmcp/../../examples/plan_explain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

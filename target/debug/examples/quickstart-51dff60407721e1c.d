@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-51dff60407721e1c.d: crates/dmcp/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-51dff60407721e1c.rmeta: crates/dmcp/../../examples/quickstart.rs Cargo.toml
+
+crates/dmcp/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

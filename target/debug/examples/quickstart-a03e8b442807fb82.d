@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a03e8b442807fb82.d: crates/dmcp/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a03e8b442807fb82: crates/dmcp/../../examples/quickstart.rs
+
+crates/dmcp/../../examples/quickstart.rs:

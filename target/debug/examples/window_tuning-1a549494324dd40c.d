@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/window_tuning-1a549494324dd40c.d: crates/dmcp/../../examples/window_tuning.rs
+
+/root/repo/target/debug/examples/window_tuning-1a549494324dd40c: crates/dmcp/../../examples/window_tuning.rs
+
+crates/dmcp/../../examples/window_tuning.rs:

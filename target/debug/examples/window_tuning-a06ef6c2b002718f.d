@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/window_tuning-a06ef6c2b002718f.d: crates/dmcp/../../examples/window_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwindow_tuning-a06ef6c2b002718f.rmeta: crates/dmcp/../../examples/window_tuning.rs Cargo.toml
+
+crates/dmcp/../../examples/window_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

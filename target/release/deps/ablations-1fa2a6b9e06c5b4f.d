@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-1fa2a6b9e06c5b4f.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-1fa2a6b9e06c5b4f: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-6aa8b99d4a7d2672.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-6aa8b99d4a7d2672: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-7aec0e18617da9b0.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-7aec0e18617da9b0: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compiler_micro-1797a31e9d1d6c32.d: crates/bench/benches/compiler_micro.rs
+
+/root/repo/target/release/deps/compiler_micro-1797a31e9d1d6c32: crates/bench/benches/compiler_micro.rs
+
+crates/bench/benches/compiler_micro.rs:

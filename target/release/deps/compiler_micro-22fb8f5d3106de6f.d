@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compiler_micro-22fb8f5d3106de6f.d: crates/bench/benches/compiler_micro.rs
+
+/root/repo/target/release/deps/compiler_micro-22fb8f5d3106de6f: crates/bench/benches/compiler_micro.rs
+
+crates/bench/benches/compiler_micro.rs:

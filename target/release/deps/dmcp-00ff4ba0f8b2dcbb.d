@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dmcp-00ff4ba0f8b2dcbb.d: crates/dmcp/src/lib.rs
+
+/root/repo/target/release/deps/dmcp-00ff4ba0f8b2dcbb: crates/dmcp/src/lib.rs
+
+crates/dmcp/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dmcp-6b89f5b34b4613b5.d: crates/dmcp/src/lib.rs
+
+/root/repo/target/release/deps/libdmcp-6b89f5b34b4613b5.rlib: crates/dmcp/src/lib.rs
+
+/root/repo/target/release/deps/libdmcp-6b89f5b34b4613b5.rmeta: crates/dmcp/src/lib.rs
+
+crates/dmcp/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dmcp-f3ab8cf4b088e242.d: crates/dmcp/src/lib.rs
+
+/root/repo/target/release/deps/libdmcp-f3ab8cf4b088e242.rlib: crates/dmcp/src/lib.rs
+
+/root/repo/target/release/deps/libdmcp-f3ab8cf4b088e242.rmeta: crates/dmcp/src/lib.rs
+
+crates/dmcp/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dmcp_baselines-b3be7b66a656cb4e.d: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/libdmcp_baselines-b3be7b66a656cb4e.rlib: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/libdmcp_baselines-b3be7b66a656cb4e.rmeta: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

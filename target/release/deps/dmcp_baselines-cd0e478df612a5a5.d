@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dmcp_baselines-cd0e478df612a5a5.d: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/libdmcp_baselines-cd0e478df612a5a5.rlib: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/libdmcp_baselines-cd0e478df612a5a5.rmeta: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dmcp_baselines-d6bda3c17450e971.d: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/dmcp_baselines-d6bda3c17450e971: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/dmcp_bench-3390b03be9e56140.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/dmcp_bench-3390b03be9e56140: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dmcp_bench-867a93da6321e6c3.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libdmcp_bench-867a93da6321e6c3.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libdmcp_bench-867a93da6321e6c3.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

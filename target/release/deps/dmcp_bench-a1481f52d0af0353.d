@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dmcp_bench-a1481f52d0af0353.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libdmcp_bench-a1481f52d0af0353.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libdmcp_bench-a1481f52d0af0353.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/dmcp_core-536dedf9bf10fae8.d: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/l1model.rs crates/core/src/layout.rs crates/core/src/mst.rs crates/core/src/partitioner.rs crates/core/src/split.rs crates/core/src/stats.rs crates/core/src/step.rs crates/core/src/sync.rs crates/core/src/unionfind.rs crates/core/src/window.rs
+
+/root/repo/target/release/deps/libdmcp_core-536dedf9bf10fae8.rlib: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/l1model.rs crates/core/src/layout.rs crates/core/src/mst.rs crates/core/src/partitioner.rs crates/core/src/split.rs crates/core/src/stats.rs crates/core/src/step.rs crates/core/src/sync.rs crates/core/src/unionfind.rs crates/core/src/window.rs
+
+/root/repo/target/release/deps/libdmcp_core-536dedf9bf10fae8.rmeta: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/l1model.rs crates/core/src/layout.rs crates/core/src/mst.rs crates/core/src/partitioner.rs crates/core/src/split.rs crates/core/src/stats.rs crates/core/src/step.rs crates/core/src/sync.rs crates/core/src/unionfind.rs crates/core/src/window.rs
+
+crates/core/src/lib.rs:
+crates/core/src/balance.rs:
+crates/core/src/error.rs:
+crates/core/src/explain.rs:
+crates/core/src/l1model.rs:
+crates/core/src/layout.rs:
+crates/core/src/mst.rs:
+crates/core/src/partitioner.rs:
+crates/core/src/split.rs:
+crates/core/src/stats.rs:
+crates/core/src/step.rs:
+crates/core/src/sync.rs:
+crates/core/src/unionfind.rs:
+crates/core/src/window.rs:

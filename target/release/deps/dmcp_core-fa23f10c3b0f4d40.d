@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/dmcp_core-fa23f10c3b0f4d40.d: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/l1model.rs crates/core/src/layout.rs crates/core/src/mst.rs crates/core/src/partitioner.rs crates/core/src/split.rs crates/core/src/stats.rs crates/core/src/step.rs crates/core/src/sync.rs crates/core/src/unionfind.rs crates/core/src/window.rs
+
+/root/repo/target/release/deps/dmcp_core-fa23f10c3b0f4d40: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/l1model.rs crates/core/src/layout.rs crates/core/src/mst.rs crates/core/src/partitioner.rs crates/core/src/split.rs crates/core/src/stats.rs crates/core/src/step.rs crates/core/src/sync.rs crates/core/src/unionfind.rs crates/core/src/window.rs
+
+crates/core/src/lib.rs:
+crates/core/src/balance.rs:
+crates/core/src/error.rs:
+crates/core/src/explain.rs:
+crates/core/src/l1model.rs:
+crates/core/src/layout.rs:
+crates/core/src/mst.rs:
+crates/core/src/partitioner.rs:
+crates/core/src/split.rs:
+crates/core/src/stats.rs:
+crates/core/src/step.rs:
+crates/core/src/sync.rs:
+crates/core/src/unionfind.rs:
+crates/core/src/window.rs:

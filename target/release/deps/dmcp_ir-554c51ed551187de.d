@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/dmcp_ir-554c51ed551187de.d: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/deps.rs crates/ir/src/display.rs crates/ir/src/exec.rs crates/ir/src/expr.rs crates/ir/src/inspector.rs crates/ir/src/lexer.rs crates/ir/src/nested.rs crates/ir/src/op.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/transform.rs
+
+/root/repo/target/release/deps/libdmcp_ir-554c51ed551187de.rlib: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/deps.rs crates/ir/src/display.rs crates/ir/src/exec.rs crates/ir/src/expr.rs crates/ir/src/inspector.rs crates/ir/src/lexer.rs crates/ir/src/nested.rs crates/ir/src/op.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/transform.rs
+
+/root/repo/target/release/deps/libdmcp_ir-554c51ed551187de.rmeta: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/deps.rs crates/ir/src/display.rs crates/ir/src/exec.rs crates/ir/src/expr.rs crates/ir/src/inspector.rs crates/ir/src/lexer.rs crates/ir/src/nested.rs crates/ir/src/op.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/transform.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/access.rs:
+crates/ir/src/deps.rs:
+crates/ir/src/display.rs:
+crates/ir/src/exec.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/inspector.rs:
+crates/ir/src/lexer.rs:
+crates/ir/src/nested.rs:
+crates/ir/src/op.rs:
+crates/ir/src/parser.rs:
+crates/ir/src/program.rs:
+crates/ir/src/transform.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dmcp_mach-04fda297e02fb69f.d: crates/mach/src/lib.rs crates/mach/src/cluster.rs crates/mach/src/config.rs crates/mach/src/fault.rs crates/mach/src/mesh.rs crates/mach/src/node.rs crates/mach/src/rng.rs crates/mach/src/routing.rs
+
+/root/repo/target/release/deps/dmcp_mach-04fda297e02fb69f: crates/mach/src/lib.rs crates/mach/src/cluster.rs crates/mach/src/config.rs crates/mach/src/fault.rs crates/mach/src/mesh.rs crates/mach/src/node.rs crates/mach/src/rng.rs crates/mach/src/routing.rs
+
+crates/mach/src/lib.rs:
+crates/mach/src/cluster.rs:
+crates/mach/src/config.rs:
+crates/mach/src/fault.rs:
+crates/mach/src/mesh.rs:
+crates/mach/src/node.rs:
+crates/mach/src/rng.rs:
+crates/mach/src/routing.rs:

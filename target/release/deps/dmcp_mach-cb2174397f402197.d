@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dmcp_mach-cb2174397f402197.d: crates/mach/src/lib.rs crates/mach/src/cluster.rs crates/mach/src/config.rs crates/mach/src/fault.rs crates/mach/src/mesh.rs crates/mach/src/node.rs crates/mach/src/rng.rs crates/mach/src/routing.rs
+
+/root/repo/target/release/deps/libdmcp_mach-cb2174397f402197.rlib: crates/mach/src/lib.rs crates/mach/src/cluster.rs crates/mach/src/config.rs crates/mach/src/fault.rs crates/mach/src/mesh.rs crates/mach/src/node.rs crates/mach/src/rng.rs crates/mach/src/routing.rs
+
+/root/repo/target/release/deps/libdmcp_mach-cb2174397f402197.rmeta: crates/mach/src/lib.rs crates/mach/src/cluster.rs crates/mach/src/config.rs crates/mach/src/fault.rs crates/mach/src/mesh.rs crates/mach/src/node.rs crates/mach/src/rng.rs crates/mach/src/routing.rs
+
+crates/mach/src/lib.rs:
+crates/mach/src/cluster.rs:
+crates/mach/src/config.rs:
+crates/mach/src/fault.rs:
+crates/mach/src/mesh.rs:
+crates/mach/src/node.rs:
+crates/mach/src/rng.rs:
+crates/mach/src/routing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dmcp_mem-22f99be1a6065bc6.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/memmode.rs crates/mem/src/page.rs crates/mem/src/predictor.rs crates/mem/src/snuca.rs
+
+/root/repo/target/release/deps/libdmcp_mem-22f99be1a6065bc6.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/memmode.rs crates/mem/src/page.rs crates/mem/src/predictor.rs crates/mem/src/snuca.rs
+
+/root/repo/target/release/deps/libdmcp_mem-22f99be1a6065bc6.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/memmode.rs crates/mem/src/page.rs crates/mem/src/predictor.rs crates/mem/src/snuca.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/memmode.rs:
+crates/mem/src/page.rs:
+crates/mem/src/predictor.rs:
+crates/mem/src/snuca.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dmcp_mem-fed76d1fadfb9f21.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/memmode.rs crates/mem/src/page.rs crates/mem/src/predictor.rs crates/mem/src/snuca.rs
+
+/root/repo/target/release/deps/libdmcp_mem-fed76d1fadfb9f21.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/memmode.rs crates/mem/src/page.rs crates/mem/src/predictor.rs crates/mem/src/snuca.rs
+
+/root/repo/target/release/deps/libdmcp_mem-fed76d1fadfb9f21.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/memmode.rs crates/mem/src/page.rs crates/mem/src/predictor.rs crates/mem/src/snuca.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/memmode.rs:
+crates/mem/src/page.rs:
+crates/mem/src/predictor.rs:
+crates/mem/src/snuca.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dmcp_sim-5e0d21122cc62e44.d: crates/sim/src/lib.rs crates/sim/src/cachesim.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/network.rs crates/sim/src/report.rs crates/sim/src/scenarios.rs crates/sim/src/viz.rs
+
+/root/repo/target/release/deps/libdmcp_sim-5e0d21122cc62e44.rlib: crates/sim/src/lib.rs crates/sim/src/cachesim.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/network.rs crates/sim/src/report.rs crates/sim/src/scenarios.rs crates/sim/src/viz.rs
+
+/root/repo/target/release/deps/libdmcp_sim-5e0d21122cc62e44.rmeta: crates/sim/src/lib.rs crates/sim/src/cachesim.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/network.rs crates/sim/src/report.rs crates/sim/src/scenarios.rs crates/sim/src/viz.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cachesim.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/network.rs:
+crates/sim/src/report.rs:
+crates/sim/src/scenarios.rs:
+crates/sim/src/viz.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dmcp_sim-d34a5708633f6557.d: crates/sim/src/lib.rs crates/sim/src/cachesim.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/network.rs crates/sim/src/report.rs crates/sim/src/scenarios.rs crates/sim/src/viz.rs
+
+/root/repo/target/release/deps/dmcp_sim-d34a5708633f6557: crates/sim/src/lib.rs crates/sim/src/cachesim.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/network.rs crates/sim/src/report.rs crates/sim/src/scenarios.rs crates/sim/src/viz.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cachesim.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/network.rs:
+crates/sim/src/report.rs:
+crates/sim/src/scenarios.rs:
+crates/sim/src/viz.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/dmcp_workloads-c7eae18910a72c56.d: crates/workloads/src/lib.rs crates/workloads/src/apps/mod.rs crates/workloads/src/apps/barnes.rs crates/workloads/src/apps/cholesky.rs crates/workloads/src/apps/fft.rs crates/workloads/src/apps/fmm.rs crates/workloads/src/apps/lu.rs crates/workloads/src/apps/minimd.rs crates/workloads/src/apps/minixyce.rs crates/workloads/src/apps/ocean.rs crates/workloads/src/apps/radiosity.rs crates/workloads/src/apps/radix.rs crates/workloads/src/apps/raytrace.rs crates/workloads/src/apps/water.rs crates/workloads/src/gen.rs crates/workloads/src/meta.rs
+
+/root/repo/target/release/deps/libdmcp_workloads-c7eae18910a72c56.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps/mod.rs crates/workloads/src/apps/barnes.rs crates/workloads/src/apps/cholesky.rs crates/workloads/src/apps/fft.rs crates/workloads/src/apps/fmm.rs crates/workloads/src/apps/lu.rs crates/workloads/src/apps/minimd.rs crates/workloads/src/apps/minixyce.rs crates/workloads/src/apps/ocean.rs crates/workloads/src/apps/radiosity.rs crates/workloads/src/apps/radix.rs crates/workloads/src/apps/raytrace.rs crates/workloads/src/apps/water.rs crates/workloads/src/gen.rs crates/workloads/src/meta.rs
+
+/root/repo/target/release/deps/libdmcp_workloads-c7eae18910a72c56.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps/mod.rs crates/workloads/src/apps/barnes.rs crates/workloads/src/apps/cholesky.rs crates/workloads/src/apps/fft.rs crates/workloads/src/apps/fmm.rs crates/workloads/src/apps/lu.rs crates/workloads/src/apps/minimd.rs crates/workloads/src/apps/minixyce.rs crates/workloads/src/apps/ocean.rs crates/workloads/src/apps/radiosity.rs crates/workloads/src/apps/radix.rs crates/workloads/src/apps/raytrace.rs crates/workloads/src/apps/water.rs crates/workloads/src/gen.rs crates/workloads/src/meta.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps/mod.rs:
+crates/workloads/src/apps/barnes.rs:
+crates/workloads/src/apps/cholesky.rs:
+crates/workloads/src/apps/fft.rs:
+crates/workloads/src/apps/fmm.rs:
+crates/workloads/src/apps/lu.rs:
+crates/workloads/src/apps/minimd.rs:
+crates/workloads/src/apps/minixyce.rs:
+crates/workloads/src/apps/ocean.rs:
+crates/workloads/src/apps/radiosity.rs:
+crates/workloads/src/apps/radix.rs:
+crates/workloads/src/apps/raytrace.rs:
+crates/workloads/src/apps/water.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/meta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/evaluation-85099dde708321a3.d: crates/bench/benches/evaluation.rs
+
+/root/repo/target/release/deps/evaluation-85099dde708321a3: crates/bench/benches/evaluation.rs
+
+crates/bench/benches/evaluation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-2a4dda4622be416d.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-2a4dda4622be416d: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

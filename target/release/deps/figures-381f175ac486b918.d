@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-381f175ac486b918.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-381f175ac486b918: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

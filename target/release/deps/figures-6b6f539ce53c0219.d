@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-6b6f539ce53c0219.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-6b6f539ce53c0219: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

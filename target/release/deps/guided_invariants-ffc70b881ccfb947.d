@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/guided_invariants-ffc70b881ccfb947.d: crates/dmcp/../../tests/guided_invariants.rs
+
+/root/repo/target/release/deps/guided_invariants-ffc70b881ccfb947: crates/dmcp/../../tests/guided_invariants.rs
+
+crates/dmcp/../../tests/guided_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_examples-999968610525783f.d: crates/dmcp/../../tests/paper_examples.rs
+
+/root/repo/target/release/deps/paper_examples-999968610525783f: crates/dmcp/../../tests/paper_examples.rs
+
+crates/dmcp/../../tests/paper_examples.rs:

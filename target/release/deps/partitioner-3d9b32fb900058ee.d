@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/partitioner-3d9b32fb900058ee.d: crates/bench/benches/partitioner.rs
+
+/root/repo/target/release/deps/partitioner-3d9b32fb900058ee: crates/bench/benches/partitioner.rs
+
+crates/bench/benches/partitioner.rs:

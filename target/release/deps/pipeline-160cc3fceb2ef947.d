@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-160cc3fceb2ef947.d: crates/dmcp/../../tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-160cc3fceb2ef947: crates/dmcp/../../tests/pipeline.rs
+
+crates/dmcp/../../tests/pipeline.rs:

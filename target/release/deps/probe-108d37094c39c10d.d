@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-108d37094c39c10d.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-108d37094c39c10d: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-7d53436288abf8c4.d: crates/dmcp/../../tests/properties.rs
+
+/root/repo/target/release/deps/properties-7d53436288abf8c4: crates/dmcp/../../tests/properties.rs
+
+crates/dmcp/../../tests/properties.rs:

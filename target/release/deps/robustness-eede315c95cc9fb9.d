@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-eede315c95cc9fb9.d: crates/dmcp/../../tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-eede315c95cc9fb9: crates/dmcp/../../tests/robustness.rs
+
+crates/dmcp/../../tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator-d3c1b4b2e8171540.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/release/deps/simulator-d3c1b4b2e8171540: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

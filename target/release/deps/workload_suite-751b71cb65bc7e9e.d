@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workload_suite-751b71cb65bc7e9e.d: crates/dmcp/../../tests/workload_suite.rs
+
+/root/repo/target/release/deps/workload_suite-751b71cb65bc7e9e: crates/dmcp/../../tests/workload_suite.rs
+
+crates/dmcp/../../tests/workload_suite.rs:

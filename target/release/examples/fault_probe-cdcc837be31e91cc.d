@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_probe-cdcc837be31e91cc.d: crates/dmcp/examples/fault_probe.rs
+
+/root/repo/target/release/examples/fault_probe-cdcc837be31e91cc: crates/dmcp/examples/fault_probe.rs
+
+crates/dmcp/examples/fault_probe.rs:

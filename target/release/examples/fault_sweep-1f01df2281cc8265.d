@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_sweep-1f01df2281cc8265.d: crates/dmcp/../../examples/fault_sweep.rs
+
+/root/repo/target/release/examples/fault_sweep-1f01df2281cc8265: crates/dmcp/../../examples/fault_sweep.rs
+
+crates/dmcp/../../examples/fault_sweep.rs:

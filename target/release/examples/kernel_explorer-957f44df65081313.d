@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/kernel_explorer-957f44df65081313.d: crates/dmcp/../../examples/kernel_explorer.rs
+
+/root/repo/target/release/examples/kernel_explorer-957f44df65081313: crates/dmcp/../../examples/kernel_explorer.rs
+
+crates/dmcp/../../examples/kernel_explorer.rs:

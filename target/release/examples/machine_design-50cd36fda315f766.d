@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/machine_design-50cd36fda315f766.d: crates/dmcp/../../examples/machine_design.rs
+
+/root/repo/target/release/examples/machine_design-50cd36fda315f766: crates/dmcp/../../examples/machine_design.rs
+
+crates/dmcp/../../examples/machine_design.rs:

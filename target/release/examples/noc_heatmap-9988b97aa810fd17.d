@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/noc_heatmap-9988b97aa810fd17.d: crates/dmcp/../../examples/noc_heatmap.rs
+
+/root/repo/target/release/examples/noc_heatmap-9988b97aa810fd17: crates/dmcp/../../examples/noc_heatmap.rs
+
+crates/dmcp/../../examples/noc_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/plan_explain-5efb6a36c1b1d0e6.d: crates/dmcp/../../examples/plan_explain.rs
+
+/root/repo/target/release/examples/plan_explain-5efb6a36c1b1d0e6: crates/dmcp/../../examples/plan_explain.rs
+
+crates/dmcp/../../examples/plan_explain.rs:

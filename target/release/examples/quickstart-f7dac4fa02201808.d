@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f7dac4fa02201808.d: crates/dmcp/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f7dac4fa02201808: crates/dmcp/../../examples/quickstart.rs
+
+crates/dmcp/../../examples/quickstart.rs:

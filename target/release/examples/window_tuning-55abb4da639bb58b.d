@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/window_tuning-55abb4da639bb58b.d: crates/dmcp/../../examples/window_tuning.rs
+
+/root/repo/target/release/examples/window_tuning-55abb4da639bb58b: crates/dmcp/../../examples/window_tuning.rs
+
+crates/dmcp/../../examples/window_tuning.rs:

@@ -43,12 +43,8 @@ fn figure_10_level_based_splitting() {
     let inner: Vec<_> = [c, d, e].iter().map(|&n| MstVertex::single(n)).collect();
     let inner_w = mst_weight(&inner);
     assert_eq!(inner_w, 3); // C-D (1) + D/E best chain (2)
-    // Outer set {A, B, component}: the component is multi-located.
-    let outer = vec![
-        MstVertex::single(a),
-        MstVertex::single(b),
-        MstVertex::multi(vec![c, d, e]),
-    ];
+                            // Outer set {A, B, component}: the component is multi-located.
+    let outer = vec![MstVertex::single(a), MstVertex::single(b), MstVertex::multi(vec![c, d, e])];
     let outer_w = mst_weight(&outer);
     assert_eq!(outer_w, 3); // A-B (1) + B-to-component at E (2)
     assert_eq!(inner_w + outer_w, 6);
@@ -64,17 +60,10 @@ fn figure_11_reuse_shrinks_second_statement() {
     let x = NodeId::new(0, 4);
     let y = NodeId::new(1, 3);
     // Without reuse: MST over {X, Y, C}.
-    let without = mst_weight(&[
-        MstVertex::single(x),
-        MstVertex::single(y),
-        MstVertex::single(c),
-    ]);
+    let without = mst_weight(&[MstVertex::single(x), MstVertex::single(y), MstVertex::single(c)]);
     // With reuse: C is also available at n_D (closer to X/Y than n_C).
-    let with = mst_weight(&[
-        MstVertex::single(x),
-        MstVertex::single(y),
-        MstVertex::multi(vec![c, d]),
-    ]);
+    let with =
+        mst_weight(&[MstVertex::single(x), MstVertex::single(y), MstVertex::multi(vec![c, d])]);
     assert!(with < without, "reuse should shrink the MST: {with} vs {without}");
 }
 
@@ -85,11 +74,8 @@ fn section_4_2_nested_sets() {
     for n in ["x", "a", "bb", "c", "d", "e", "f", "g"] {
         b.array(n, &[8], 8);
     }
-    b.nest(
-        &[("i", 0, 8)],
-        &["x[i] = a[i] * (bb[i] + c[i]) + d[i] * (e[i] + f[i] + g[i])"],
-    )
-    .unwrap();
+    b.nest(&[("i", 0, 8)], &["x[i] = a[i] * (bb[i] + c[i]) + d[i] * (e[i] + f[i] + g[i])"])
+        .unwrap();
     let p = b.build();
     let g = dmcp::ir::Group::of_expr(&p.nests()[0].body[0].rhs);
     // Additive top level with two multiplicative components, each holding
@@ -127,8 +113,5 @@ fn running_example_planned_reduction() {
             }
         }
     }
-    assert!(
-        good as f64 >= 0.9 * total as f64,
-        "only {good}/{total} instances at or below default"
-    );
+    assert!(good as f64 >= 0.9 * total as f64, "only {good}/{total} instances at or below default");
 }

@@ -17,8 +17,7 @@ fn matrix_program() -> dmcp::ir::Program {
     b.array("R", &[48], 64);
     b.nest(
         &[("t", 0, 3), ("i", 0, 48), ("j", 0, 48)],
-        &["A[i][j] = A[i][j] - A[i][t] * A[t][j] / P[t]",
-          "R[j] = R[j] + A[t][j] * A[j][t] - P[j]"],
+        &["A[i][j] = A[i][j] - A[i][t] * A[t][j] / P[t]", "R[j] = R[j] + A[t][j] * A[j][t] - P[j]"],
     )
     .unwrap();
     b.build()
@@ -82,9 +81,12 @@ fn scenarios_order_sensibly_on_a_real_workload() {
     let w = by_name("lu", Scale::Tiny).unwrap();
     let machine = MachineConfig::knl_like();
     let cfg = PartitionConfig::default();
-    let base = run_program(&w.program, &w.data, &machine, &cfg, MemoryMode::Flat, Scenario::Baseline);
-    let opt = run_program(&w.program, &w.data, &machine, &cfg, MemoryMode::Flat, Scenario::Optimized);
-    let ideal = run_program(&w.program, &w.data, &machine, &cfg, MemoryMode::Flat, Scenario::IdealNetwork);
+    let base =
+        run_program(&w.program, &w.data, &machine, &cfg, MemoryMode::Flat, Scenario::Baseline);
+    let opt =
+        run_program(&w.program, &w.data, &machine, &cfg, MemoryMode::Flat, Scenario::Optimized);
+    let ideal =
+        run_program(&w.program, &w.data, &machine, &cfg, MemoryMode::Flat, Scenario::IdealNetwork);
     assert!(opt.exec_time < base.exec_time, "opt {} vs base {}", opt.exec_time, base.exec_time);
     assert!(ideal.exec_time < opt.exec_time);
     assert!(opt.movement < base.movement);

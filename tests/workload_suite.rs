@@ -40,11 +40,7 @@ fn every_workload_reduces_planned_movement() {
             out.movement_opt(),
             out.movement_default()
         );
-        assert!(
-            out.avg_movement_reduction() >= 0.0,
-            "{}: negative average reduction",
-            w.name
-        );
+        assert!(out.avg_movement_reduction() >= 0.0, "{}: negative average reduction", w.name);
     }
 }
 
@@ -70,7 +66,12 @@ fn every_workload_simulates_with_sane_metrics() {
             r_opt.movement,
             r_base.movement
         );
-        assert!(r_opt.predictor_accuracy > 0.4, "{}: predictor accuracy {}", w.name, r_opt.predictor_accuracy);
+        assert!(
+            r_opt.predictor_accuracy > 0.4,
+            "{}: predictor accuracy {}",
+            w.name,
+            r_opt.predictor_accuracy
+        );
         assert!(r_opt.l1_hit_rate() <= 1.0 && r_base.l1_hit_rate() <= 1.0);
     }
 }
@@ -94,8 +95,5 @@ fn suite_wide_means_are_in_the_papers_ballpark() {
         count += 1;
     }
     let geo = product.powf(1.0 / f64::from(count));
-    assert!(
-        geo < 0.9,
-        "geometric-mean movement ratio {geo:.3} — expected a >10% reduction"
-    );
+    assert!(geo < 0.9, "geometric-mean movement ratio {geo:.3} — expected a >10% reduction");
 }
