@@ -1,0 +1,47 @@
+//! Benches for the serving layer: key fingerprinting, cache lookups, and
+//! the full cached-vs-uncached client mix. Writes `BENCH_serve.json` so CI
+//! archives the serving numbers next to the paper tables.
+
+use dmcp::mach::MachineConfig;
+use dmcp::serve::mix::{render_json, render_table, run_comparison};
+use dmcp::serve::{MixConfig, PlanRequest, PlanService, ServeConfig};
+use dmcp::workloads::{all, Scale};
+use dmcp_bench::timing::bench;
+use std::hint::black_box;
+
+fn bench_fingerprint() {
+    let machine = MachineConfig::knl_like();
+    for w in all(Scale::Tiny).into_iter().take(3) {
+        let req = PlanRequest::new(w.program, machine.clone(), <_>::default()).with_data(w.data);
+        bench(&format!("plan_key/{}", w.name), 50, || black_box(&req).key());
+    }
+}
+
+fn bench_cached_lookup() {
+    let machine = MachineConfig::knl_like();
+    let service = PlanService::new(ServeConfig::default());
+    let w = all(Scale::Tiny).remove(0);
+    let req = PlanRequest::new(w.program, machine, <_>::default()).with_data(w.data);
+    service.plan(req.clone()).expect("warm the cache");
+    bench("cached_plan/barnes", 50, || service.plan(black_box(req.clone())).expect("hit"));
+    service.shutdown();
+}
+
+fn bench_client_mix() {
+    let mix = MixConfig { requests: 48, clients: 4, ..MixConfig::default() };
+    let serve = ServeConfig { queue_depth: 64, ..ServeConfig::default() };
+    let (cached, uncached) = run_comparison(&mix, &serve);
+    let speedup = cached.throughput / uncached.throughput;
+    let reports = [cached, uncached];
+    print!("{}", render_table(&reports));
+    println!("client mix speedup (cached over no-cache): {speedup:.2}x");
+    if let Err(e) = std::fs::write("BENCH_serve.json", render_json(&reports, speedup)) {
+        eprintln!("could not write BENCH_serve.json: {e}");
+    }
+}
+
+fn main() {
+    bench_fingerprint();
+    bench_cached_lookup();
+    bench_client_mix();
+}

@@ -83,6 +83,47 @@ impl Default for PartitionConfig {
 }
 
 impl PartitionConfig {
+    /// Stable fingerprint of the configuration — every knob that can change
+    /// the planner's output participates, so two configs fingerprint equal
+    /// iff they compile identical plans for the same program and machine.
+    pub fn fingerprint(&self) -> u64 {
+        use dmcp_ir::fingerprint::StableHasher;
+        let mut h = StableHasher::new();
+        h.write_u8(match self.page_policy {
+            PagePolicy::ColorPreserving => 0,
+            PagePolicy::Scramble => 1,
+        });
+        h.write_u8(u8::from(self.opts.reuse_aware));
+        h.write_u8(u8::from(self.opts.ideal_analysis));
+        h.write_f64(self.opts.balance_threshold);
+        h.write_f64(self.opts.split_threshold);
+        h.write_u8(match self.predictor {
+            PredictorSpec::Reuse => 0,
+            PredictorSpec::L2Model => 1,
+            PredictorSpec::AlwaysHit => 2,
+        });
+        h.write_u64(self.max_window as u64);
+        h.write_u64(self.search_sample);
+        match self.fixed_window {
+            None => h.write_u8(0),
+            Some(w) => {
+                h.write_u8(1);
+                h.write_u64(w as u64);
+            }
+        }
+        match &self.assignment {
+            None => h.write_u8(0),
+            Some(a) => {
+                h.write_u8(1);
+                h.write_len(a.len());
+                for n in a {
+                    h.write_u32((u32::from(n.x()) << 16) | u32::from(n.y()));
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Checks the configuration for values the planning layer would
     /// otherwise assert on.
     ///
@@ -284,7 +325,31 @@ impl Partitioner {
     /// (the inspector-collected information).
     pub fn partition_with_data(&self, program: &Program, data: &DataStore) -> PartitionOutput {
         let nests = (0..program.nests().len())
-            .map(|n| self.partition_nest(program, n, data, false))
+            .map(|n| self.partition_nest(program, n, data, false, None))
+            .collect();
+        PartitionOutput { nests }
+    }
+
+    /// [`Partitioner::partition_with_data`] reusing previously chosen
+    /// per-nest window sizes instead of redoing the 1‥`max_window` search —
+    /// the pre-processing sweep dominates compile time, and its choice is a
+    /// pure function of the (program, machine, config) triple, so a caller
+    /// that cached [`PartitionOutput::window_sizes`] from an earlier run of
+    /// the *same* triple gets a bit-identical plan at a fraction of the
+    /// cost.
+    ///
+    /// `windows` holds one entry per nest (extra entries are ignored; a
+    /// missing entry falls back to the search). A configured
+    /// `fixed_window` still takes precedence, as it does in the searched
+    /// path.
+    pub fn partition_with_data_reusing(
+        &self,
+        program: &Program,
+        data: &DataStore,
+        windows: &[usize],
+    ) -> PartitionOutput {
+        let nests = (0..program.nests().len())
+            .map(|n| self.partition_nest(program, n, data, false, windows.get(n).copied()))
             .collect();
         PartitionOutput { nests }
     }
@@ -294,7 +359,7 @@ impl Partitioner {
     /// iteration's assigned core.
     pub fn baseline(&self, program: &Program, data: &DataStore) -> PartitionOutput {
         let nests = (0..program.nests().len())
-            .map(|n| self.partition_nest(program, n, data, true))
+            .map(|n| self.partition_nest(program, n, data, true, None))
             .collect();
         PartitionOutput { nests }
     }
@@ -357,6 +422,7 @@ impl Partitioner {
         nest_index: usize,
         data: &DataStore,
         force_default: bool,
+        window_hint: Option<usize>,
     ) -> NestPartition {
         let nest = &program.nests()[nest_index];
         let iters = nest.iteration_count();
@@ -370,9 +436,10 @@ impl Partitioner {
         let window = if force_default {
             1
         } else {
-            match self.config.fixed_window {
-                Some(w) => w,
-                None => self.search_window(program, nest_index, data, &assignment),
+            match (self.config.fixed_window, window_hint) {
+                (Some(w), _) => w,
+                (None, Some(w)) => w,
+                (None, None) => self.search_window(program, nest_index, data, &assignment),
             }
         };
         let NestPlan { schedule, stats } = plan_nest(
@@ -665,6 +732,54 @@ mod tests {
         let bad = PartitionConfig { assignment: Some(vec![]), ..PartitionConfig::default() };
         assert!(bad.validate().is_err());
         assert!(PartitionConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn reused_window_sizes_give_bit_identical_plans() {
+        let p = program(&["A[i] = B[i] + C[i] + D[i] + E[i]", "X[i] = Y[i] + C[i]"], 96);
+        let machine = MachineConfig::knl_like();
+        let part = Partitioner::new(&machine, &p, PartitionConfig::default());
+        let data = p.initial_data();
+        let searched = part.partition_with_data(&p, &data);
+        let reused = part.partition_with_data_reusing(&p, &data, &searched.window_sizes());
+        assert_eq!(searched, reused);
+    }
+
+    #[test]
+    fn window_hint_yields_to_fixed_window() {
+        let p = program(&["A[i] = B[i] + C[i]"], 32);
+        let machine = MachineConfig::knl_like();
+        let cfg = PartitionConfig { fixed_window: Some(5), ..PartitionConfig::default() };
+        let part = Partitioner::new(&machine, &p, cfg);
+        let data = p.initial_data();
+        let out = part.partition_with_data_reusing(&p, &data, &[3]);
+        assert_eq!(out.window_sizes(), vec![5]);
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_every_knob() {
+        let base = PartitionConfig::default();
+        assert_eq!(base.fingerprint(), PartitionConfig::default().fingerprint());
+        let variants = [
+            PartitionConfig { page_policy: PagePolicy::Scramble, ..base.clone() },
+            PartitionConfig {
+                opts: PlanOptions { reuse_aware: false, ..base.opts },
+                ..base.clone()
+            },
+            PartitionConfig {
+                opts: PlanOptions { split_threshold: 0.9, ..base.opts },
+                ..base.clone()
+            },
+            PartitionConfig { predictor: PredictorSpec::AlwaysHit, ..base.clone() },
+            PartitionConfig { max_window: 4, ..base.clone() },
+            PartitionConfig { search_sample: 128, ..base.clone() },
+            PartitionConfig { fixed_window: Some(3), ..base.clone() },
+            PartitionConfig { assignment: Some(vec![NodeId::new(0, 0)]), ..base.clone() },
+        ];
+        let mut prints: Vec<u64> = variants.iter().map(PartitionConfig::fingerprint).collect();
+        prints.push(base.fingerprint());
+        let distinct: std::collections::HashSet<_> = prints.iter().collect();
+        assert_eq!(distinct.len(), prints.len(), "fingerprint collision among config variants");
     }
 
     #[test]

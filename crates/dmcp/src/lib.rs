@@ -20,6 +20,7 @@
 //! | [`sim`] | `dmcp-sim` | timing/energy simulation, ideal & S1–S4 scenarios |
 //! | [`workloads`] | `dmcp-workloads` | the 12 kernels (Splash-2 + Mantevo shapes) |
 //! | [`baselines`] | `dmcp-baselines` | profiled default placement, data-to-MC mapping |
+//! | [`serve`] | `dmcp-serve` | plan compilation service: content-addressed cache, worker pool |
 //!
 //! # Quick start
 //!
@@ -46,5 +47,6 @@ pub use dmcp_core as core;
 pub use dmcp_ir as ir;
 pub use dmcp_mach as mach;
 pub use dmcp_mem as mem;
+pub use dmcp_serve as serve;
 pub use dmcp_sim as sim;
 pub use dmcp_workloads as workloads;

@@ -1,0 +1,355 @@
+//! Canonical structural hashing of programs.
+//!
+//! The serving layer (`dmcp-serve`) keys its plan cache on a *stable*
+//! fingerprint of everything that determines a partition: the program, the
+//! machine, the partitioner configuration and the fault plan. Rust's
+//! `std::hash::Hash` is explicitly not stable across releases, so this
+//! module provides an in-tree FNV-1a based hasher whose output is a pure
+//! function of the hashed bytes — the same program fingerprints identically
+//! on every run, platform and toolchain.
+//!
+//! The hash is *structural*: source-level identifier names (array names,
+//! loop-variable names) do not participate, so two programs that differ
+//! only in spelling share a fingerprint and therefore a cached plan.
+//! Everything that feeds the partitioner's decisions does participate:
+//! array shapes and base addresses, loop bounds, statement ASTs including
+//! operator structure and indirect subscripts, analyzability flags, and —
+//! for [`DataStore`] — the concrete values indirect references resolve
+//! through.
+
+use crate::access::{AffineExpr, ArrayRef, IndexExpr};
+use crate::expr::Expr;
+use crate::program::{ArrayDecl, DataStore, LoopDim, LoopNest, Program, Statement};
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a hasher with stable, platform-independent output.
+///
+/// # Examples
+///
+/// ```
+/// use dmcp_ir::fingerprint::StableHasher;
+///
+/// let mut a = StableHasher::new();
+/// a.write_u64(42);
+/// let mut b = StableHasher::new();
+/// b.write_u64(42);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds an `i64`.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds a `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a byte (used for enum discriminants and bools).
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Folds an `f64` through its bit pattern (`-0.0` and `0.0` differ;
+    /// NaNs with different payloads differ — bit-identity is the contract).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a length prefix, guarding sequence hashes against ambiguity
+    /// (`[ab][c]` vs `[a][bc]`).
+    pub fn write_len(&mut self, len: usize) {
+        self.write_u64(len as u64);
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Types with a canonical, platform-stable structural hash.
+pub trait StableHash {
+    /// Folds `self` into the hasher.
+    fn stable_hash(&self, h: &mut StableHasher);
+
+    /// Convenience: the fingerprint of `self` alone.
+    fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        self.stable_hash(&mut h);
+        h.finish()
+    }
+}
+
+impl StableHash for AffineExpr {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_i64(self.c0);
+        h.write_len(self.terms.len());
+        for &(v, c) in &self.terms {
+            h.write_u32(v.depth() as u32);
+            h.write_i64(c);
+        }
+    }
+}
+
+impl StableHash for IndexExpr {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            IndexExpr::Affine(a) => {
+                h.write_u8(0);
+                a.stable_hash(h);
+            }
+            IndexExpr::Indirect(inner) => {
+                h.write_u8(1);
+                inner.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl StableHash for ArrayRef {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u32(self.array.index() as u32);
+        h.write_u8(u8::from(self.analyzable));
+        h.write_len(self.indices.len());
+        for idx in &self.indices {
+            idx.stable_hash(h);
+        }
+    }
+}
+
+impl StableHash for Expr {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            Expr::Const(v) => {
+                h.write_u8(0);
+                h.write_f64(*v);
+            }
+            Expr::Ref(r) => {
+                h.write_u8(1);
+                r.stable_hash(h);
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                h.write_u8(2);
+                h.write_u8(*op as u8);
+                lhs.stable_hash(h);
+                rhs.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl StableHash for Statement {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.lhs.stable_hash(h);
+        self.rhs.stable_hash(h);
+    }
+}
+
+impl StableHash for LoopDim {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        // Structural: the variable is identified by its depth within the
+        // nest, not by its source name.
+        h.write_i64(self.lo);
+        h.write_i64(self.hi);
+    }
+}
+
+impl StableHash for LoopNest {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_len(self.dims.len());
+        for d in &self.dims {
+            d.stable_hash(h);
+        }
+        h.write_len(self.body.len());
+        for s in &self.body {
+            s.stable_hash(h);
+        }
+    }
+}
+
+impl StableHash for ArrayDecl {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        // Structural: the name is omitted; the base VA participates because
+        // it determines the memory layout the partitioner plans against.
+        h.write_len(self.dims.len());
+        for &d in &self.dims {
+            h.write_u64(d);
+        }
+        h.write_u32(self.elem_size);
+        h.write_u64(self.base_va);
+        h.write_u8(u8::from(self.hot));
+    }
+}
+
+impl StableHash for Program {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_len(self.arrays().len());
+        for a in self.arrays() {
+            a.stable_hash(h);
+        }
+        h.write_len(self.nests().len());
+        for n in self.nests() {
+            n.stable_hash(h);
+        }
+    }
+}
+
+impl StableHash for DataStore {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let values = self.raw_values();
+        h.write_len(values.len());
+        for v in values {
+            h.write_len(v.len());
+            for &x in v {
+                h.write_f64(x);
+            }
+        }
+    }
+}
+
+impl Program {
+    /// The canonical structural fingerprint of the program: stable across
+    /// runs and platforms, independent of identifier spelling.
+    #[must_use]
+    pub fn structural_hash(&self) -> u64 {
+        self.fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn simple(names: [&str; 3], stmt: &str) -> Program {
+        let mut b = ProgramBuilder::new();
+        for n in names {
+            b.array(n, &[64], 8);
+        }
+        b.nest(&[("i", 0, 32)], &[stmt]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let p = simple(["A", "B", "C"], "A[i] = B[i] + C[i]");
+        assert_eq!(p.structural_hash(), p.structural_hash());
+        let q = simple(["A", "B", "C"], "A[i] = B[i] + C[i]");
+        assert_eq!(p.structural_hash(), q.structural_hash());
+    }
+
+    #[test]
+    fn hash_ignores_identifier_names() {
+        let p = simple(["A", "B", "C"], "A[i] = B[i] + C[i]");
+        let q = simple(["X", "Y", "Z"], "X[i] = Y[i] + Z[i]");
+        assert_eq!(p.structural_hash(), q.structural_hash());
+        // Renaming the loop variable is also structural.
+        let mut b = ProgramBuilder::new();
+        for n in ["A", "B", "C"] {
+            b.array(n, &[64], 8);
+        }
+        b.nest(&[("k", 0, 32)], &["A[k] = B[k] + C[k]"]).unwrap();
+        assert_eq!(p.structural_hash(), b.build().structural_hash());
+    }
+
+    #[test]
+    fn hash_sees_structure() {
+        let base = simple(["A", "B", "C"], "A[i] = B[i] + C[i]");
+        // Different operator.
+        let op = simple(["A", "B", "C"], "A[i] = B[i] * C[i]");
+        assert_ne!(base.structural_hash(), op.structural_hash());
+        // Different subscript.
+        let idx = simple(["A", "B", "C"], "A[i] = B[i+1] + C[i]");
+        assert_ne!(base.structural_hash(), idx.structural_hash());
+        // Different bounds.
+        let mut b = ProgramBuilder::new();
+        for n in ["A", "B", "C"] {
+            b.array(n, &[64], 8);
+        }
+        b.nest(&[("i", 0, 33)], &["A[i] = B[i] + C[i]"]).unwrap();
+        assert_ne!(base.structural_hash(), b.build().structural_hash());
+        // Different array extent (moves base VAs too).
+        let mut b = ProgramBuilder::new();
+        b.array("A", &[64], 8);
+        b.array("B", &[128], 8);
+        b.array("C", &[64], 8);
+        b.nest(&[("i", 0, 32)], &["A[i] = B[i] + C[i]"]).unwrap();
+        assert_ne!(base.structural_hash(), b.build().structural_hash());
+    }
+
+    #[test]
+    fn hash_sees_indirection_and_analyzability() {
+        let affine = simple(["A", "B", "C"], "A[i] = B[i] + C[i]");
+        let indirect = simple(["A", "B", "C"], "A[B[i]] = B[i] + C[i]");
+        assert_ne!(affine.structural_hash(), indirect.structural_hash());
+
+        let mut marked = affine.clone();
+        marked.nests_mut()[0].body[0].for_each_ref_mut(&mut |r| r.mark_unanalyzable());
+        assert_ne!(affine.structural_hash(), marked.structural_hash());
+    }
+
+    #[test]
+    fn data_store_hash_tracks_values() {
+        let p = simple(["A", "B", "C"], "A[i] = B[i] + C[i]");
+        let d1 = p.initial_data();
+        let d2 = p.initial_data();
+        assert_eq!(d1.fingerprint(), d2.fingerprint());
+        let mut d3 = p.initial_data();
+        d3.set(crate::access::ArrayId::from_index(1), 7, 1234.5);
+        assert_ne!(d1.fingerprint(), d3.fingerprint());
+    }
+
+    #[test]
+    fn length_prefixes_disambiguate_sequences() {
+        // One nest with two statements vs two nests with one each.
+        let mut a = ProgramBuilder::new();
+        for n in ["A", "B"] {
+            a.array(n, &[64], 8);
+        }
+        a.nest(&[("i", 0, 8)], &["A[i] = B[i] + 1", "B[i] = A[i] + 1"]).unwrap();
+        let mut b = ProgramBuilder::new();
+        for n in ["A", "B"] {
+            b.array(n, &[64], 8);
+        }
+        b.nest(&[("i", 0, 8)], &["A[i] = B[i] + 1"]).unwrap();
+        b.nest(&[("i", 0, 8)], &["B[i] = A[i] + 1"]).unwrap();
+        assert_ne!(a.build().structural_hash(), b.build().structural_hash());
+    }
+}

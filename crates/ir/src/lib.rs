@@ -22,7 +22,9 @@
 //! - [`deps`] — instance-level flow/anti/output dependences and
 //!   may-dependences for indirect references;
 //! - [`inspector`] — the inspector half of the inspector/executor scheme
-//!   used to resolve may-dependences at "run time".
+//!   used to resolve may-dependences at "run time";
+//! - [`fingerprint`] — the canonical structural hash (`StableHash`) the
+//!   serving layer keys its plan cache on.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@ pub mod deps;
 pub mod display;
 pub mod exec;
 pub mod expr;
+pub mod fingerprint;
 pub mod inspector;
 pub mod lexer;
 pub mod nested;
@@ -53,6 +56,7 @@ pub mod transform;
 pub use access::{ArrayId, ArrayRef, IndexExpr};
 pub use deps::{DepKind, Dependence};
 pub use expr::Expr;
+pub use fingerprint::{StableHash, StableHasher};
 pub use nested::{Element, Group, OpClass, Term};
 pub use op::BinOp;
 pub use program::{ArrayDecl, IterVec, LoopDim, LoopNest, Program, ProgramBuilder, Statement};

@@ -356,6 +356,11 @@ impl DataStore {
             })
     }
 
+    /// The raw per-array value vectors, for the structural hasher.
+    pub(crate) fn raw_values(&self) -> &[Vec<f64>] {
+        &self.values
+    }
+
     /// Replaces an entire array's contents (used by workloads to install
     /// index arrays for indirect accesses). Values are truncated or repeated
     /// to the array length.

@@ -106,6 +106,17 @@ impl FaultPlan {
         self.dead_nodes.iter().copied()
     }
 
+    /// The dead (undirected) links, in sorted endpoint order.
+    pub fn dead_links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.dead_links.iter().copied()
+    }
+
+    /// The lossy links and their drop probabilities, in sorted endpoint
+    /// order.
+    pub fn lossy_links(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.lossy_links.iter().map(|(&(a, b), &p)| (a, b, p))
+    }
+
     /// The drop-schedule seed.
     #[must_use]
     pub fn seed(&self) -> u64 {

@@ -1,0 +1,189 @@
+//! Stable fingerprints of machine descriptions and fault plans.
+//!
+//! The serving layer keys cached partition plans on everything that can
+//! change the planner's output. On the machine side that is the full
+//! [`MachineConfig`] — geometry, cluster mode, cache shape, latency and
+//! energy constants — and, in degraded mode, the [`FaultPlan`]. Both get a
+//! platform-stable fingerprint here, built on the same splitmix64 mixer the
+//! rest of the crate uses for seeded determinism (`std::hash::Hash` is not
+//! stable across toolchains, so it is unusable as a cache key).
+
+use crate::cluster::ClusterMode;
+use crate::config::MachineConfig;
+use crate::fault::FaultPlan;
+use crate::mesh::Mesh;
+use crate::node::NodeId;
+use crate::rng::mix;
+
+/// A small fingerprint accumulator: every folded word is avalanche-mixed
+/// into the state, so field order matters and single-bit changes diffuse.
+#[derive(Clone, Copy, Debug)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Fingerprint {
+    /// A fresh accumulator, domain-separated by `tag` so different kinds of
+    /// object cannot collide by folding the same words.
+    #[must_use]
+    pub fn new(tag: u64) -> Self {
+        Self { state: mix(tag) }
+    }
+
+    /// Folds one word.
+    pub fn fold(&mut self, v: u64) -> &mut Self {
+        self.state = mix(self.state ^ mix(v));
+        self
+    }
+
+    /// Folds an `f64` through its bit pattern.
+    pub fn fold_f64(&mut self, v: f64) -> &mut Self {
+        self.fold(v.to_bits())
+    }
+
+    /// Folds a node coordinate.
+    pub fn fold_node(&mut self, n: NodeId) -> &mut Self {
+        self.fold((u64::from(n.x()) << 16) | u64::from(n.y()))
+    }
+
+    /// The accumulated fingerprint.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        mix(self.state)
+    }
+}
+
+impl Mesh {
+    /// Stable fingerprint of the topology.
+    #[must_use]
+    pub fn fingerprint(self) -> u64 {
+        let mut f = Fingerprint::new(0x4d45_5348); // "MESH"
+        f.fold(u64::from(self.cols())).fold(u64::from(self.rows()));
+        f.finish()
+    }
+}
+
+impl MachineConfig {
+    /// Stable fingerprint of the full machine description. Two configs
+    /// fingerprint equal iff a partitioner would behave identically on them.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new(0x4d41_4348); // "MACH"
+        f.fold(self.mesh.fingerprint());
+        f.fold(match self.cluster {
+            ClusterMode::AllToAll => 0,
+            ClusterMode::Quadrant => 1,
+            ClusterMode::Snc4 => 2,
+        });
+        f.fold(u64::from(self.cache_line))
+            .fold(u64::from(self.page_size))
+            .fold(u64::from(self.l1_bytes))
+            .fold(u64::from(self.l1_ways))
+            .fold(u64::from(self.l2_bank_bytes))
+            .fold(u64::from(self.l2_ways));
+        let l = &self.latency;
+        for v in [
+            l.hop,
+            l.l1_hit,
+            l.l2_hit,
+            l.fast_mem,
+            l.slow_mem,
+            l.sync,
+            l.op,
+            l.div_factor,
+            l.contention,
+        ] {
+            f.fold_f64(v);
+        }
+        let e = &self.energy;
+        for v in [e.link, e.l1, e.l2, e.fast_mem, e.slow_mem, e.op, e.static_per_cycle] {
+            f.fold_f64(v);
+        }
+        f.finish()
+    }
+}
+
+impl FaultPlan {
+    /// Stable fingerprint of the injected faults. The healthy plan has a
+    /// well-defined fingerprint of its own, so "no faults" and "some
+    /// faults" never share a cache key.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new(0x4641_554c); // "FAUL"
+        f.fold(self.seed());
+        let dead: Vec<NodeId> = self.dead_nodes().collect();
+        f.fold(dead.len() as u64);
+        for n in dead {
+            f.fold_node(n);
+        }
+        let links: Vec<(NodeId, NodeId)> = self.dead_links().collect();
+        f.fold(links.len() as u64);
+        for (a, b) in links {
+            f.fold_node(a).fold_node(b);
+        }
+        let lossy: Vec<(NodeId, NodeId, f64)> = self.lossy_links().collect();
+        f.fold(lossy.len() as u64);
+        for (a, b, p) in lossy {
+            f.fold_node(a).fold_node(b).fold_f64(p);
+        }
+        f.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_fingerprint_is_stable_and_sensitive() {
+        let a = MachineConfig::knl_like();
+        let b = MachineConfig::knl_like();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let mesh = a.clone().with_mesh(Mesh::new(8, 8));
+        assert_ne!(a.fingerprint(), mesh.fingerprint());
+
+        let cluster = a.clone().with_cluster(ClusterMode::Snc4);
+        assert_ne!(a.fingerprint(), cluster.fingerprint());
+
+        let mut latency = a.clone();
+        latency.latency.hop += 1.0;
+        assert_ne!(a.fingerprint(), latency.fingerprint());
+
+        let mut l2 = a.clone();
+        l2.l2_bank_bytes *= 2;
+        assert_ne!(a.fingerprint(), l2.fingerprint());
+    }
+
+    #[test]
+    fn fault_fingerprint_distinguishes_plans() {
+        let healthy = FaultPlan::healthy();
+        assert_eq!(healthy.fingerprint(), FaultPlan::healthy().fingerprint());
+
+        let mut one = FaultPlan::healthy();
+        one.kill_node(NodeId::new(1, 2));
+        assert_ne!(healthy.fingerprint(), one.fingerprint());
+
+        let mut link = FaultPlan::healthy();
+        link.kill_link(NodeId::new(1, 2), NodeId::new(1, 3));
+        assert_ne!(one.fingerprint(), link.fingerprint());
+        assert_ne!(healthy.fingerprint(), link.fingerprint());
+
+        // Undirected links fingerprint the same in either endpoint order.
+        let mut rev = FaultPlan::healthy();
+        rev.kill_link(NodeId::new(1, 3), NodeId::new(1, 2));
+        assert_eq!(link.fingerprint(), rev.fingerprint());
+
+        let mut lossy = FaultPlan::healthy();
+        lossy.lossy_link(NodeId::new(1, 2), NodeId::new(1, 3), 0.1);
+        assert_ne!(link.fingerprint(), lossy.fingerprint());
+
+        // The drop-schedule seed is part of the degraded behaviour.
+        assert_ne!(healthy.fingerprint(), FaultPlan::with_seed(9).fingerprint());
+    }
+
+    #[test]
+    fn mesh_fingerprint_is_not_symmetric_in_dims() {
+        assert_ne!(Mesh::new(4, 6).fingerprint(), Mesh::new(6, 4).fingerprint());
+    }
+}

@@ -19,7 +19,9 @@
 //! - [`fault`] — fault injection (dead nodes, dead links, lossy links) and
 //!   the fault-aware detour router [`route_avoiding`];
 //! - [`rng`] — the small deterministic PRNG behind workload generation and
-//!   the fault model's drop schedule.
+//!   the fault model's drop schedule;
+//! - [`fingerprint`] — stable machine/fault fingerprints for the serving
+//!   layer's plan cache.
 //!
 //! # Examples
 //!
@@ -36,6 +38,7 @@
 pub mod cluster;
 pub mod config;
 pub mod fault;
+pub mod fingerprint;
 pub mod mesh;
 pub mod node;
 pub mod rng;
@@ -44,6 +47,7 @@ pub mod routing;
 pub use cluster::ClusterMode;
 pub use config::{EnergyModel, LatencyModel, MachineConfig};
 pub use fault::{route_avoiding, FaultError, FaultPlan, FaultState, RouteError};
+pub use fingerprint::Fingerprint;
 pub use mesh::{Mesh, Quadrant};
 pub use node::NodeId;
 pub use routing::{Link, RouteOrder, RoutePath};

@@ -1,0 +1,86 @@
+//! Replays a synthetic client mix against the plan service, cached and
+//! uncached, and reports throughput / latency / cache behaviour.
+//!
+//! ```text
+//! dmcp-serve [--requests N] [--clients N] [--workers N] [--seed S] [--out PATH]
+//! ```
+//!
+//! Writes a machine-readable summary (including the cached-over-uncached
+//! speedup) to `--out` (default `BENCH_serve.json`).
+
+use dmcp_serve::mix::{render_json, render_table, run_comparison};
+use dmcp_serve::{MixConfig, ServeConfig};
+use std::process::ExitCode;
+
+struct Args {
+    mix: MixConfig,
+    serve: ServeConfig,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mix: MixConfig::default(),
+        serve: ServeConfig::default(),
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--requests" => {
+                args.mix.requests = value("--requests")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--clients" => {
+                args.mix.clients = value("--clients")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--workers" => {
+                args.serve.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--seed" => {
+                args.mix.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => {
+                return Err("usage: dmcp-serve [--requests N] [--clients N] [--workers N] \
+                     [--seed S] [--out PATH]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    // The mix expects every request to be admitted: size the queue for the
+    // whole burst.
+    args.serve.queue_depth = args.mix.requests.max(1);
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "dmcp-serve: {} requests, {} clients, {} workers, 12 workloads (tiny)",
+        args.mix.requests, args.mix.clients, args.serve.workers
+    );
+    let (cached, uncached) = run_comparison(&args.mix, &args.serve);
+    let speedup =
+        if uncached.throughput > 0.0 { cached.throughput / uncached.throughput } else { 0.0 };
+
+    let reports = [cached, uncached];
+    print!("{}", render_table(&reports));
+    println!("speedup (cached over no-cache): {speedup:.2}x");
+
+    let json = render_json(&reports, speedup);
+    if let Err(e) = std::fs::write(&args.out, json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+    ExitCode::SUCCESS
+}

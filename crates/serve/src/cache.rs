@@ -1,0 +1,292 @@
+//! The sharded, content-addressed plan cache.
+//!
+//! Compiled [`PartitionOutput`]s are memoized under their [`PlanKey`]. The
+//! cache is split into `N` shards, each behind its own [`Mutex`], so
+//! concurrent lookups from the worker pool and from client threads contend
+//! per-shard rather than on one global lock. Each shard runs an LRU policy
+//! over an *approximate byte* accounting of its plans (a plan's size is
+//! dominated by its steps, inputs and per-instance records), and the whole
+//! cache keeps hit/miss/insert/eviction counters that snapshot into a
+//! [`CacheStats`] report.
+
+use crate::key::PlanKey;
+use dmcp_core::{NestPartition, PartitionOutput, StmtRecord};
+use dmcp_core::{Step, StepInput};
+use std::collections::HashMap;
+use std::mem::size_of;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Approximate heap footprint of a compiled plan, in bytes.
+///
+/// Counts the containers that scale with program size — steps, their
+/// inputs and waits, and the per-instance statistics records — plus the
+/// fixed part of each nest. Allocator slack and small fixed fields are
+/// ignored; the accounting only needs to be *proportional* so the byte
+/// capacity ranks plans sensibly.
+#[must_use]
+pub fn approx_plan_bytes(plan: &PartitionOutput) -> usize {
+    let mut bytes = size_of::<PartitionOutput>();
+    for nest in &plan.nests {
+        bytes += size_of::<NestPartition>();
+        bytes += nest.stats.records.len() * size_of::<StmtRecord>();
+        bytes += nest.schedule.steps.len() * size_of::<Step>();
+        for step in &nest.schedule.steps {
+            bytes += step.inputs.len() * size_of::<StepInput>();
+            bytes += step.waits.len() * size_of::<u32>();
+        }
+    }
+    bytes
+}
+
+/// Counter snapshot of one cache (or one service run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Plans inserted.
+    pub insertions: u64,
+    /// Plans evicted to stay within the byte capacity.
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub entries: u64,
+    /// Approximate bytes currently resident.
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups (0 when nothing was looked up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<PartitionOutput>,
+    bytes: usize,
+    /// Last-touch stamp from the shard's monotonic tick; smallest = LRU.
+    stamp: u64,
+}
+
+struct Shard {
+    map: HashMap<PlanKey, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: PlanKey) -> Option<Arc<PartitionOutput>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|e| {
+            e.stamp = tick;
+            Arc::clone(&e.plan)
+        })
+    }
+}
+
+/// The sharded LRU plan cache. Capacity 0 disables caching entirely (every
+/// lookup misses, nothing is stored) — the no-cache baseline configuration.
+pub struct ShardedPlanCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget (total capacity / shard count).
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedPlanCache {
+    /// Creates a cache with `capacity_bytes` split evenly over `shards`
+    /// shards (shard count is clamped to at least 1).
+    #[must_use]
+    pub fn new(shards: usize, capacity_bytes: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shard_capacity: capacity_bytes / shards,
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), bytes: 0, tick: 0 }))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: PlanKey) -> &Mutex<Shard> {
+        &self.shards[(key.digest() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a plan, refreshing its LRU position on a hit.
+    pub fn get(&self, key: PlanKey) -> Option<Arc<PartitionOutput>> {
+        let found = self.shard(key).lock().expect("cache shard poisoned").touch(key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a plan, evicting least-recently-used entries of the shard
+    /// until it fits the byte budget. A plan larger than the whole shard
+    /// budget is not retained. Re-inserting an existing key refreshes the
+    /// entry.
+    pub fn insert(&self, key: PlanKey, plan: Arc<PartitionOutput>) {
+        if self.shard_capacity == 0 {
+            return;
+        }
+        let bytes = approx_plan_bytes(&plan);
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let stamp = shard.tick;
+        if let Some(old) = shard.map.insert(key, Entry { plan, bytes, stamp }) {
+            shard.bytes -= old.bytes;
+        }
+        shard.bytes += bytes;
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        while shard.bytes > self.shard_capacity {
+            let Some((&victim, _)) = shard.map.iter().min_by_key(|(_, e)| e.stamp) else {
+                break;
+            };
+            let gone = shard.map.remove(&victim).expect("victim present");
+            shard.bytes -= gone.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            s.map.clear();
+            s.bytes = 0;
+        }
+    }
+
+    /// Snapshots the counters and current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let (mut entries, mut bytes) = (0u64, 0u64);
+        for shard in &self.shards {
+            let s = shard.lock().expect("cache shard poisoned");
+            entries += s.map.len() as u64;
+            bytes += s.bytes as u64;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> PlanKey {
+        PlanKey { program: n, machine: 0, config: 0, faults: 0 }
+    }
+
+    /// A plan with `steps` empty steps — a few hundred bytes per step.
+    fn plan(steps: usize) -> Arc<PartitionOutput> {
+        use dmcp_core::{NestStats, Schedule, StmtTag, SubId};
+        let steps = (0..steps)
+            .map(|k| Step {
+                id: SubId(k as u32),
+                node: dmcp_mach::NodeId::new(0, 0),
+                seed: None,
+                inputs: Vec::new(),
+                store: None,
+                waits: Vec::new(),
+                tag: StmtTag::default(),
+            })
+            .collect();
+        Arc::new(PartitionOutput {
+            nests: vec![NestPartition {
+                nest: 0,
+                schedule: Schedule { steps },
+                stats: NestStats::default(),
+            }],
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_insert_counters() {
+        let cache = ShardedPlanCache::new(4, 1 << 20);
+        assert!(cache.get(key(1)).is_none());
+        cache.insert(key(1), plan(4));
+        assert!(cache.get(key(1)).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.evictions), (1, 1, 1, 0));
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes > 0);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        // Single shard so ordering is observable; capacity fits two plans.
+        let two = 2 * approx_plan_bytes(&plan(8));
+        let cache = ShardedPlanCache::new(1, two);
+        cache.insert(key(1), plan(8));
+        cache.insert(key(2), plan(8));
+        assert!(cache.get(key(1)).is_some(), "refresh key 1");
+        cache.insert(key(3), plan(8));
+        assert!(cache.get(key(1)).is_some(), "recently used survives");
+        assert!(cache.get(key(3)).is_some(), "new entry survives");
+        assert!(cache.get(key(2)).is_none(), "LRU entry evicted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ShardedPlanCache::new(4, 0);
+        cache.insert(key(1), plan(2));
+        assert!(cache.get(key(1)).is_none());
+        let s = cache.stats();
+        assert_eq!(s.insertions, 0);
+        assert_eq!(s.entries, 0);
+    }
+
+    #[test]
+    fn oversized_plan_is_not_retained() {
+        let small = approx_plan_bytes(&plan(2));
+        let cache = ShardedPlanCache::new(1, small);
+        cache.insert(key(1), plan(64));
+        assert!(cache.get(key(1)).is_none());
+        // But a fitting plan stays.
+        cache.insert(key(2), plan(2));
+        assert!(cache.get(key(2)).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_bytes_not_entries() {
+        let cache = ShardedPlanCache::new(1, 1 << 20);
+        cache.insert(key(1), plan(2));
+        let b1 = cache.stats().bytes;
+        cache.insert(key(1), plan(4));
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes > b1);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn plan_size_scales_with_steps() {
+        assert!(approx_plan_bytes(&plan(64)) > 8 * approx_plan_bytes(&plan(4)));
+    }
+}

@@ -1,0 +1,141 @@
+//! Plan requests and their content-addressed cache keys.
+
+use dmcp_core::PartitionConfig;
+use dmcp_ir::program::DataStore;
+use dmcp_ir::{Program, StableHash, StableHasher};
+use dmcp_mach::{rng::mix, FaultPlan, MachineConfig};
+
+/// The content address of one compilation: fingerprints of everything that
+/// determines the partitioner's output. Two requests with equal keys
+/// compile bit-identical [`dmcp_core::PartitionOutput`]s, which is the
+/// invariant the plan cache rests on (and the determinism test pins).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanKey {
+    /// Structural hash of the program, folded with the inspector data the
+    /// planner resolves indirect references through.
+    pub program: u64,
+    /// Machine-description fingerprint.
+    pub machine: u64,
+    /// Partitioner-configuration fingerprint.
+    pub config: u64,
+    /// Fault-plan fingerprint (the healthy plan's own fingerprint when the
+    /// request carries no faults, so healthy and degraded never collide).
+    pub faults: u64,
+}
+
+impl PlanKey {
+    /// A single mixed word summarising the key — used for shard selection.
+    #[must_use]
+    pub fn digest(self) -> u64 {
+        mix(mix(mix(mix(self.program) ^ self.machine) ^ self.config) ^ self.faults)
+    }
+}
+
+/// One unit of work for the service: everything the partitioner needs.
+///
+/// The request owns its program and data so it can cross the thread
+/// boundary into the worker pool; workloads are cheap to clone at the
+/// scales the service runs.
+#[derive(Clone, Debug)]
+pub struct PlanRequest {
+    /// The program to partition.
+    pub program: Program,
+    /// Inspector data for indirect references; `None` uses the program's
+    /// deterministic initial data.
+    pub data: Option<DataStore>,
+    /// The machine to partition for.
+    pub machine: MachineConfig,
+    /// Partitioner configuration.
+    pub config: PartitionConfig,
+    /// Faults to degrade the machine with; `None` compiles for the healthy
+    /// mesh.
+    pub faults: Option<FaultPlan>,
+}
+
+impl PlanRequest {
+    /// A healthy-machine request with default inspector data.
+    #[must_use]
+    pub fn new(program: Program, machine: MachineConfig, config: PartitionConfig) -> Self {
+        Self { program, data: None, machine, config, faults: None }
+    }
+
+    /// Attaches inspector data (workload-installed index arrays).
+    #[must_use]
+    pub fn with_data(mut self, data: DataStore) -> Self {
+        self.data = Some(data);
+        self
+    }
+
+    /// Attaches a fault plan — the compile runs in degraded mode.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Derives the request's content-addressed cache key.
+    #[must_use]
+    pub fn key(&self) -> PlanKey {
+        let mut ph = StableHasher::new();
+        self.program.stable_hash(&mut ph);
+        match &self.data {
+            None => ph.write_u8(0),
+            Some(d) => {
+                ph.write_u8(1);
+                d.stable_hash(&mut ph);
+            }
+        }
+        PlanKey {
+            program: ph.finish(),
+            machine: self.machine.fingerprint(),
+            config: self.config.fingerprint(),
+            faults: self.faults.clone().unwrap_or_else(FaultPlan::healthy).fingerprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcp_ir::ProgramBuilder;
+    use dmcp_mach::NodeId;
+
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new();
+        for n in ["A", "B", "C"] {
+            b.array(n, &[64], 8);
+        }
+        b.nest(&[("i", 0, 32)], &["A[i] = B[i] + C[i]"]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn key_is_stable_and_componentwise() {
+        let req = PlanRequest::new(program(), MachineConfig::knl_like(), <_>::default());
+        assert_eq!(req.key(), req.key());
+
+        let other_machine = PlanRequest {
+            machine: MachineConfig::knl_like().with_mesh(dmcp_mach::Mesh::new(4, 4)),
+            ..req.clone()
+        };
+        assert_eq!(req.key().program, other_machine.key().program);
+        assert_ne!(req.key().machine, other_machine.key().machine);
+
+        let mut faults = FaultPlan::healthy();
+        faults.kill_node(NodeId::new(1, 1));
+        let degraded = req.clone().with_faults(faults);
+        assert_ne!(req.key(), degraded.key());
+        assert_eq!(req.key().program, degraded.key().program);
+
+        let with_data = req.clone().with_data(req.program.initial_data());
+        assert_ne!(req.key().program, with_data.key().program);
+    }
+
+    #[test]
+    fn digest_spreads_component_changes() {
+        let req = PlanRequest::new(program(), MachineConfig::knl_like(), <_>::default());
+        let base = req.key().digest();
+        let degraded = req.with_faults(FaultPlan::with_seed(1)).key().digest();
+        assert_ne!(base, degraded);
+    }
+}

@@ -1,0 +1,69 @@
+//! `dmcp-serve` — a concurrent partition-plan compilation service with a
+//! content-addressed plan cache.
+//!
+//! The partitioner in `dmcp-core` is a pure function of its inputs: the
+//! same program, data, machine description, configuration and fault plan
+//! always produce the same [`dmcp_core::PartitionOutput`]. This crate
+//! turns that purity into a serving layer:
+//!
+//! * [`PlanKey`] — a content address built from stable fingerprints
+//!   ([`dmcp_ir::StableHash`] for programs/data, the
+//!   [`dmcp_mach::Fingerprint`] accumulator for machines and faults, and
+//!   `PartitionConfig::fingerprint` for the planner knobs);
+//! * [`ShardedPlanCache`] — an N-shard LRU over approximate plan bytes
+//!   with hit/miss/insert/eviction counters;
+//! * [`PlanService`] — a bounded-queue worker pool with single-flight
+//!   deduplication (concurrent requests for one key compile once),
+//!   per-key window-size memoization, typed admission control
+//!   ([`ServeError::QueueFull`]) and graceful draining shutdown;
+//! * [`mix`] — a synthetic client mix over the 12 paper workloads, used
+//!   by the `dmcp-serve` binary and the bench harness to measure the
+//!   cached-over-uncached speedup.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dmcp_serve::{PlanRequest, PlanService, ServeConfig};
+//! use dmcp_mach::MachineConfig;
+//!
+//! let service = PlanService::new(ServeConfig::default());
+//! let w = dmcp_workloads::by_name("ocean", dmcp_workloads::Scale::Tiny).unwrap();
+//! let req = PlanRequest::new(w.program, MachineConfig::knl_like(), <_>::default())
+//!     .with_data(w.data);
+//! let first = service.plan(req.clone()).unwrap();   // compiles
+//! let second = service.plan(req).unwrap();          // cache hit
+//! assert_eq!(first, second);
+//! assert_eq!(service.stats().compiles, 1);
+//! service.shutdown();
+//! ```
+
+pub mod cache;
+pub mod key;
+pub mod mix;
+pub mod service;
+
+pub use cache::{approx_plan_bytes, CacheStats, ShardedPlanCache};
+pub use key::{PlanKey, PlanRequest};
+pub use mix::{run_client_mix, run_comparison, MixConfig, MixReport};
+pub use service::{PlanResult, PlanService, PlanTicket, ServeConfig, ServeError, ServeStats};
+
+/// Compile-time audit that everything the service moves across or shares
+/// between threads is `Send`/`Sync`. The partitioner and layout are
+/// constructed inside worker threads; requests cross the queue; plans and
+/// the service handle are shared by reference from client threads.
+#[allow(dead_code)]
+fn send_sync_audit() {
+    fn send<T: Send>() {}
+    fn sync<T: Sync>() {}
+    send::<dmcp_core::Partitioner>();
+    sync::<dmcp_core::Partitioner>();
+    send::<dmcp_core::Layout>();
+    sync::<dmcp_core::Layout>();
+    send::<dmcp_core::PartitionOutput>();
+    sync::<dmcp_core::PartitionOutput>();
+    send::<PlanRequest>();
+    send::<PlanTicket>();
+    sync::<PlanService>();
+    send::<PlanService>();
+    sync::<ShardedPlanCache>();
+}

@@ -1,0 +1,271 @@
+//! Synthetic client mix over the 12-application suite.
+//!
+//! Models the service's intended deployment: many clients repeatedly
+//! requesting plans for a small population of programs (job schedulers
+//! re-submit the same applications far more often than they submit new
+//! ones). Requests are drawn from the suite with a deterministic skew —
+//! earlier applications are requested more often — fanned out over client
+//! threads, and the run is summarized as throughput, latency percentiles
+//! and cache behaviour in a [`MixReport`].
+
+use crate::key::PlanRequest;
+use crate::service::{PlanService, ServeConfig, ServeStats};
+use dmcp_mach::{rng::Rng64, MachineConfig};
+use dmcp_workloads::Scale;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Client-mix parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MixConfig {
+    /// Total requests issued across all clients.
+    pub requests: usize,
+    /// Client threads issuing requests concurrently.
+    pub clients: usize,
+    /// Workload scale the programs are built at.
+    pub scale: Scale,
+    /// Seed for the skewed workload draw.
+    pub seed: u64,
+}
+
+impl Default for MixConfig {
+    fn default() -> Self {
+        Self { requests: 64, clients: 4, scale: Scale::Tiny, seed: 0x4d49_5845 }
+    }
+}
+
+/// Outcome of one client-mix run against a service.
+#[derive(Clone, Debug)]
+pub struct MixReport {
+    /// Label for tables/JSON ("cached", "no-cache", …).
+    pub label: String,
+    /// Requests completed successfully.
+    pub completed: usize,
+    /// Wall-clock for the whole mix, seconds.
+    pub wall_s: f64,
+    /// Completed requests per wall-clock second.
+    pub throughput: f64,
+    /// Mean request latency, milliseconds.
+    pub lat_avg_ms: f64,
+    /// Median request latency, milliseconds.
+    pub lat_p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub lat_p95_ms: f64,
+    /// Worst request latency, milliseconds.
+    pub lat_max_ms: f64,
+    /// Service counters at the end of the run.
+    pub stats: ServeStats,
+}
+
+/// Draws the per-request workload indices: a deterministic skew where
+/// workload `k` of `n` is roughly twice as likely as workload `k + n/2`.
+fn draw_indices(config: &MixConfig, population: usize) -> Vec<usize> {
+    let mut rng = Rng64::new(config.seed);
+    (0..config.requests)
+        .map(|_| {
+            // Sum of two uniform draws, folded: biases toward low indices.
+            let a = rng.gen_range(population as u64);
+            let b = rng.gen_range(population as u64);
+            (a.min(b)) as usize
+        })
+        .collect()
+}
+
+/// Runs `config.requests` requests from `config.clients` threads against
+/// `service` and reports aggregate throughput and latency.
+///
+/// Every request is a healthy-machine compile of one of the 12 paper
+/// workloads (with its inspector data attached, so indirect accesses
+/// resolve exactly as in the benchmarks). The draw is deterministic in
+/// `config.seed`, so cached and no-cache services see the identical mix.
+///
+/// # Panics
+///
+/// Panics if any request fails — the mix only issues valid requests.
+#[must_use]
+pub fn run_client_mix(service: &PlanService, config: &MixConfig, label: &str) -> MixReport {
+    let suite = dmcp_workloads::all(config.scale);
+    let requests: Vec<PlanRequest> = suite
+        .into_iter()
+        .map(|w| {
+            PlanRequest::new(w.program, MachineConfig::knl_like(), <_>::default()).with_data(w.data)
+        })
+        .collect();
+    let indices = draw_indices(config, requests.len());
+
+    let clients = config.clients.max(1);
+    let requests = Arc::new(requests);
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let requests = Arc::clone(&requests);
+                let slice: Vec<usize> = indices.iter().copied().skip(c).step_by(clients).collect();
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(slice.len());
+                    for w in slice {
+                        let req = requests[w].clone();
+                        let t0 = Instant::now();
+                        // Blocking plan(): submit retries are the service's
+                        // backpressure story, but the mix sizes its queue
+                        // to admit everything, so QueueFull is a bug here.
+                        let plan = service.plan(req).expect("mix request failed");
+                        lats.push(t0.elapsed().as_secs_f64() * 1e3);
+                        assert!(!plan.nests.is_empty());
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client panicked")).collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let completed = latencies.len();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx]
+    };
+    MixReport {
+        label: label.to_string(),
+        completed,
+        wall_s,
+        throughput: if wall_s > 0.0 { completed as f64 / wall_s } else { 0.0 },
+        lat_avg_ms: if completed == 0 {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / completed as f64
+        },
+        lat_p50_ms: pct(0.50),
+        lat_p95_ms: pct(0.95),
+        lat_max_ms: latencies.last().copied().unwrap_or(0.0),
+        stats: service.stats(),
+    }
+}
+
+/// Runs the standard cached-vs-uncached comparison: the same deterministic
+/// mix against a caching service and against a baseline with the cache and
+/// single-flight disabled. Returns `(cached, uncached)`.
+#[must_use]
+pub fn run_comparison(mix: &MixConfig, serve: &ServeConfig) -> (MixReport, MixReport) {
+    let cached = PlanService::new(*serve);
+    let cached_report = run_client_mix(&cached, mix, "cached");
+    cached.shutdown();
+
+    let baseline = PlanService::new(ServeConfig { cache_bytes: 0, single_flight: false, ..*serve });
+    let uncached_report = run_client_mix(&baseline, mix, "no-cache");
+    baseline.shutdown();
+
+    (cached_report, uncached_report)
+}
+
+/// Renders reports as an aligned text table.
+#[must_use]
+pub fn render_table(reports: &[MixReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9}\n",
+        "run", "requests", "req/s", "avg ms", "p50 ms", "p95 ms", "max ms", "compiles", "hit rate"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>9.1} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>8} {:>8.1}%\n",
+            r.label,
+            r.completed,
+            r.throughput,
+            r.lat_avg_ms,
+            r.lat_p50_ms,
+            r.lat_p95_ms,
+            r.lat_max_ms,
+            r.stats.compiles,
+            r.stats.cache.hit_rate() * 100.0,
+        ));
+    }
+    out
+}
+
+/// Serializes reports (plus the cached-over-uncached speedup) as JSON for
+/// `BENCH_serve.json`. Hand-rolled: the workspace takes no external
+/// dependencies.
+#[must_use]
+pub fn render_json(reports: &[MixReport], speedup: f64) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"dmcp-serve client mix\",\n");
+    out.push_str(&format!("  \"speedup_cached_over_uncached\": {speedup:.3},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"label\": \"{}\", \"requests\": {}, \"wall_s\": {:.6}, ",
+                "\"throughput_rps\": {:.3}, \"lat_avg_ms\": {:.4}, \"lat_p50_ms\": {:.4}, ",
+                "\"lat_p95_ms\": {:.4}, \"lat_max_ms\": {:.4}, \"compiles\": {}, ",
+                "\"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, ",
+                "\"shared\": {}, \"hit_rate\": {:.4}}}{}\n",
+            ),
+            r.label,
+            r.completed,
+            r.wall_s,
+            r.throughput,
+            r.lat_avg_ms,
+            r.lat_p50_ms,
+            r.lat_p95_ms,
+            r.lat_max_ms,
+            r.stats.compiles,
+            r.stats.cache.hits,
+            r.stats.cache.misses,
+            r.stats.cache.evictions,
+            r.stats.shared,
+            r.stats.cache.hit_rate(),
+            if i + 1 == reports.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draw_is_deterministic_and_skewed() {
+        let cfg = MixConfig { requests: 512, ..MixConfig::default() };
+        let a = draw_indices(&cfg, 12);
+        let b = draw_indices(&cfg, 12);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&i| i < 12));
+        let low = a.iter().filter(|&&i| i < 6).count();
+        assert!(low * 2 > a.len(), "min-of-two draw favours low indices");
+    }
+
+    #[test]
+    fn mix_hits_cache_on_repeats() {
+        let service = PlanService::new(ServeConfig::default());
+        let cfg = MixConfig { requests: 24, clients: 2, ..MixConfig::default() };
+        let report = run_client_mix(&service, &cfg, "test");
+        assert_eq!(report.completed, 24);
+        // 12 distinct keys at most — repeats must be served by the cache
+        // or joined in flight, never recompiled.
+        assert!(report.stats.compiles <= 12);
+        assert!(report.throughput > 0.0);
+        assert!(report.lat_p50_ms <= report.lat_p95_ms);
+        assert!(report.lat_p95_ms <= report.lat_max_ms);
+        service.shutdown();
+    }
+
+    #[test]
+    fn json_and_table_render() {
+        let service = PlanService::new(ServeConfig::default());
+        let cfg = MixConfig { requests: 4, clients: 1, ..MixConfig::default() };
+        let report = run_client_mix(&service, &cfg, "smoke");
+        let table = render_table(std::slice::from_ref(&report));
+        assert!(table.contains("smoke"));
+        let json = render_json(std::slice::from_ref(&report), 1.0);
+        assert!(json.contains("\"label\": \"smoke\""));
+        assert!(json.contains("\"speedup_cached_over_uncached\": 1.000"));
+        service.shutdown();
+    }
+}

@@ -1,0 +1,552 @@
+//! The compilation service: a bounded queue, a worker pool, single-flight
+//! deduplication and the plan cache behind one handle.
+//!
+//! Life of a request:
+//!
+//! 1. [`PlanService::submit`] derives the request's [`PlanKey`] and probes
+//!    the cache — a hit returns a ready ticket without touching the queue;
+//! 2. on a miss, the in-flight table is consulted: if the same key is
+//!    already queued or compiling, the ticket joins that *flight* instead
+//!    of enqueueing a second compile (single-flight);
+//! 3. otherwise a job enters the bounded queue. A full queue is a typed
+//!    admission error ([`ServeError::QueueFull`]) so callers can shed load
+//!    instead of blocking unboundedly;
+//! 4. a worker thread dequeues the job, compiles it (reusing memoized
+//!    per-nest window sizes when the same key was compiled before), stores
+//!    the plan in the cache and wakes every ticket of the flight.
+//!
+//! Shutdown is graceful: [`PlanService::shutdown`] closes the queue,
+//! workers drain what was admitted, and every outstanding ticket resolves.
+
+use crate::cache::{CacheStats, ShardedPlanCache};
+use crate::key::{PlanKey, PlanRequest};
+use dmcp_core::{PartitionError, PartitionOutput, Partitioner};
+use dmcp_mach::FaultState;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Service configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads compiling plans.
+    pub workers: usize,
+    /// Bounded request-queue depth; a full queue rejects with
+    /// [`ServeError::QueueFull`].
+    pub queue_depth: usize,
+    /// Plan-cache capacity in (approximate) bytes. 0 disables caching.
+    pub cache_bytes: usize,
+    /// Cache shard count.
+    pub cache_shards: usize,
+    /// Share one compile among concurrent requests for the same key.
+    /// Disabled only by the no-cache baseline, which wants every request
+    /// to cost a full compile.
+    pub single_flight: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            cache_bytes: 64 << 20,
+            cache_shards: 8,
+            single_flight: true,
+        }
+    }
+}
+
+/// Errors surfaced by the service.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The bounded request queue is full — shed load and retry later.
+    QueueFull,
+    /// The service has been shut down.
+    ShuttingDown,
+    /// The compile itself failed (invalid config, dead assignment, …).
+    Compile(PartitionError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull => f.write_str("request queue is full"),
+            ServeError::ShuttingDown => f.write_str("service is shutting down"),
+            ServeError::Compile(e) => write!(f, "compilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PartitionError> for ServeError {
+    fn from(e: PartitionError) -> Self {
+        ServeError::Compile(e)
+    }
+}
+
+/// The result every ticket resolves to.
+pub type PlanResult = Result<Arc<PartitionOutput>, ServeError>;
+
+/// One in-flight compilation, shared by every ticket waiting on it.
+struct Flight {
+    done: Mutex<Option<PlanResult>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Self> {
+        Arc::new(Self { done: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    fn complete(&self, result: PlanResult) {
+        *self.done.lock().expect("flight poisoned") = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> PlanResult {
+        let mut done = self.done.lock().expect("flight poisoned");
+        loop {
+            match &*done {
+                Some(r) => return r.clone(),
+                None => done = self.cv.wait(done).expect("flight poisoned"),
+            }
+        }
+    }
+}
+
+/// A handle to one submitted request; [`PlanTicket::wait`] blocks until
+/// the plan is ready (immediately for cache hits).
+pub struct PlanTicket {
+    inner: TicketInner,
+}
+
+enum TicketInner {
+    Ready(Arc<PartitionOutput>),
+    Flight(Arc<Flight>),
+}
+
+impl PlanTicket {
+    /// Blocks until the compile resolves and returns the shared plan.
+    pub fn wait(self) -> PlanResult {
+        match self.inner {
+            TicketInner::Ready(plan) => Ok(plan),
+            TicketInner::Flight(f) => f.wait(),
+        }
+    }
+
+    /// `true` when the ticket was answered from the cache at submit time.
+    #[must_use]
+    pub fn from_cache(&self) -> bool {
+        matches!(self.inner, TicketInner::Ready(_))
+    }
+}
+
+struct Job {
+    key: PlanKey,
+    request: PlanRequest,
+    flight: Arc<Flight>,
+}
+
+struct Inner {
+    cache: ShardedPlanCache,
+    inflight: Mutex<HashMap<PlanKey, Arc<Flight>>>,
+    /// Memoized per-nest window sizes by key: survives cache eviction (it
+    /// is tiny), so a recompile of a known key skips the 1‥8 search sweep
+    /// and still produces a bit-identical plan.
+    windows: Mutex<HashMap<PlanKey, Vec<usize>>>,
+    compiles: AtomicU64,
+    shared: AtomicU64,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    single_flight: bool,
+}
+
+impl Inner {
+    /// Compiles one request, reusing memoized window sizes when available.
+    fn compile(&self, key: PlanKey, request: &PlanRequest) -> PlanResult {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let windows = self.windows.lock().expect("window memo poisoned").get(&key).cloned();
+        let data = match &request.data {
+            Some(d) => d.clone(),
+            None => request.program.initial_data(),
+        };
+        let out = match &request.faults {
+            None => {
+                request.config.validate()?;
+                let partitioner =
+                    Partitioner::new(&request.machine, &request.program, request.config.clone());
+                match &windows {
+                    Some(w) => partitioner.partition_with_data_reusing(&request.program, &data, w),
+                    None => partitioner.partition_with_data(&request.program, &data),
+                }
+            }
+            Some(plan) => {
+                let faults = FaultState::new(plan.clone(), request.machine.mesh)
+                    .map_err(PartitionError::from)?;
+                let partitioner = Partitioner::new_degraded(
+                    &request.machine,
+                    &request.program,
+                    request.config.clone(),
+                    &faults,
+                )?;
+                let out = match &windows {
+                    Some(w) => partitioner.partition_with_data_reusing(&request.program, &data, w),
+                    None => partitioner.partition_with_data(&request.program, &data),
+                };
+                // Degraded plans must uphold the live-node invariant; check
+                // exactly as `try_partition` would.
+                for nest in &out.nests {
+                    for step in &nest.schedule.steps {
+                        if !partitioner.layout().is_live(step.node) {
+                            return Err(ServeError::Compile(PartitionError::DeadNodeInSchedule {
+                                nest: nest.nest,
+                                node: step.node,
+                            }));
+                        }
+                    }
+                }
+                out
+            }
+        };
+        if windows.is_none() {
+            self.windows.lock().expect("window memo poisoned").insert(key, out.window_sizes());
+        }
+        let plan = Arc::new(out);
+        self.cache.insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    fn run_job(&self, job: Job) {
+        // The key may have landed in the cache while the job sat in the
+        // queue (an identical key re-submitted after this flight was
+        // registered goes through the flight, but a *different* service
+        // user may race the compile after an eviction).
+        let result = match self.cache.get(job.key) {
+            Some(plan) => Ok(plan),
+            None => self.compile(job.key, &job.request),
+        };
+        self.inflight.lock().expect("inflight poisoned").remove(&job.key);
+        job.flight.complete(result);
+    }
+}
+
+/// Snapshot of the service's counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Compiles actually executed by the worker pool.
+    pub compiles: u64,
+    /// Requests that joined an existing flight instead of compiling
+    /// (single-flight deduplication).
+    pub shared: u64,
+    /// Requests admitted (cache hits included).
+    pub submitted: u64,
+    /// Requests rejected with [`ServeError::QueueFull`].
+    pub rejected: u64,
+}
+
+/// The concurrent partition-plan compilation service.
+///
+/// Dropping the service shuts it down gracefully (queued work drains
+/// first); prefer calling [`PlanService::shutdown`] to make that explicit.
+pub struct PlanService {
+    inner: Arc<Inner>,
+    queue: Mutex<Option<SyncSender<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PlanService {
+    /// Spawns the worker pool and returns the service handle.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        let inner = Arc::new(Inner {
+            cache: ShardedPlanCache::new(config.cache_shards, config.cache_bytes),
+            inflight: Mutex::new(HashMap::new()),
+            windows: Mutex::new(HashMap::new()),
+            compiles: AtomicU64::new(0),
+            shared: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            single_flight: config.single_flight,
+        });
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|k| {
+                let inner = Arc::clone(&inner);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("dmcp-serve-{k}"))
+                    .spawn(move || worker_loop(&inner, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { inner, queue: Mutex::new(Some(tx)), workers }
+    }
+
+    /// Submits one request. Returns a ticket immediately; the compile (if
+    /// any) happens on the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the bounded queue cannot admit the
+    /// request, [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, request: PlanRequest) -> Result<PlanTicket, ServeError> {
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let key = request.key();
+        if let Some(plan) = self.inner.cache.get(key) {
+            return Ok(PlanTicket { inner: TicketInner::Ready(plan) });
+        }
+        let mut inflight = self.inner.inflight.lock().expect("inflight poisoned");
+        if self.inner.single_flight {
+            if let Some(flight) = inflight.get(&key) {
+                self.inner.shared.fetch_add(1, Ordering::Relaxed);
+                return Ok(PlanTicket { inner: TicketInner::Flight(Arc::clone(flight)) });
+            }
+        }
+        let flight = Flight::new();
+        if self.inner.single_flight {
+            inflight.insert(key, Arc::clone(&flight));
+        }
+        // Hold the in-flight lock across the enqueue so a worker cannot
+        // finish the job (and remove the flight) before it is registered.
+        let queue = self.queue.lock().expect("queue poisoned");
+        let admit = match queue.as_ref() {
+            None => Err(ServeError::ShuttingDown),
+            Some(tx) => match tx.try_send(Job { key, request, flight: Arc::clone(&flight) }) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => Err(ServeError::QueueFull),
+                Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+            },
+        };
+        if let Err(e) = admit {
+            if self.inner.single_flight {
+                inflight.remove(&key);
+            }
+            if e == ServeError::QueueFull {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(e);
+        }
+        Ok(PlanTicket { inner: TicketInner::Flight(flight) })
+    }
+
+    /// Submit-and-wait convenience for synchronous callers.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PlanService::submit`] returns, plus compile errors.
+    pub fn plan(&self, request: PlanRequest) -> PlanResult {
+        self.submit(request)?.wait()
+    }
+
+    /// Compiles a batch: submits every request (applying backpressure by
+    /// waiting for earlier tickets whenever the queue is full) and waits
+    /// for all results, returned in request order.
+    pub fn serve_batch(&self, requests: Vec<PlanRequest>) -> Vec<PlanResult> {
+        let mut slots: Vec<Option<PlanResult>> = Vec::with_capacity(requests.len());
+        let mut pending: Vec<(usize, PlanTicket)> = Vec::new();
+        for (i, request) in requests.into_iter().enumerate() {
+            slots.push(None);
+            loop {
+                match self.submit(request.clone()) {
+                    Ok(ticket) => {
+                        pending.push((i, ticket));
+                        break;
+                    }
+                    Err(ServeError::QueueFull) => {
+                        // Backpressure: resolve the oldest outstanding
+                        // ticket (freeing a queue slot) and retry.
+                        match pending.is_empty() {
+                            true => std::thread::yield_now(),
+                            false => {
+                                let (slot, ticket) = pending.remove(0);
+                                slots[slot] = Some(ticket.wait());
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        slots[i] = Some(Err(e));
+                        break;
+                    }
+                }
+            }
+        }
+        for (slot, ticket) in pending {
+            slots[slot] = Some(ticket.wait());
+        }
+        slots.into_iter().map(|s| s.expect("every slot resolved")).collect()
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            cache: self.inner.cache.stats(),
+            compiles: self.inner.compiles.load(Ordering::Relaxed),
+            shared: self.inner.shared.load(Ordering::Relaxed),
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Direct access to the plan cache (tests, cache warming).
+    pub fn cache(&self) -> &ShardedPlanCache {
+        &self.inner.cache
+    }
+
+    /// Graceful shutdown: stops admitting, drains the queue, joins the
+    /// workers. Every ticket handed out before the call still resolves.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        self.queue.lock().expect("queue poisoned").take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PlanService {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(inner: &Inner, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Rust-book worker-pool idiom: the guard lives only for the recv —
+        // it is dropped at the end of the statement, before the job runs,
+        // so workers process jobs concurrently.
+        let job = rx.lock().expect("queue receiver poisoned").recv();
+        match job {
+            Ok(job) => inner.run_job(job),
+            Err(_) => return, // queue closed and drained: shutdown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcp_ir::{Program, ProgramBuilder};
+    use dmcp_mach::MachineConfig;
+
+    fn program(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        for n in ["A", "B", "C", "D"] {
+            b.array(n, &[256], 8);
+        }
+        b.nest(&[("i", 0, iters)], &["A[i] = B[i] + C[i] + D[i]"]).unwrap();
+        b.build()
+    }
+
+    fn request(iters: i64) -> PlanRequest {
+        PlanRequest::new(program(iters), MachineConfig::knl_like(), <_>::default())
+    }
+
+    #[test]
+    fn plan_compiles_once_then_hits() {
+        let service = PlanService::new(ServeConfig::default());
+        let a = service.plan(request(32)).unwrap();
+        let b = service.plan(request(32)).unwrap();
+        assert_eq!(a, b);
+        let stats = service.stats();
+        assert_eq!(stats.compiles, 1);
+        assert_eq!(stats.cache.hits, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn distinct_programs_get_distinct_plans() {
+        let service = PlanService::new(ServeConfig::default());
+        let a = service.plan(request(32)).unwrap();
+        let b = service.plan(request(48)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(service.stats().compiles, 2);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let service = PlanService::new(ServeConfig::default());
+        let mut req = request(16);
+        req.config.max_window = 0;
+        let err = service.plan(req).unwrap_err();
+        assert!(matches!(err, ServeError::Compile(PartitionError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn queue_full_is_reported() {
+        // One worker, depth-1 queue: the worker parks on the first job, the
+        // queue holds one more, further submits are rejected. Distinct
+        // programs defeat single-flight joining.
+        let service =
+            PlanService::new(ServeConfig { workers: 1, queue_depth: 1, ..ServeConfig::default() });
+        let mut tickets = Vec::new();
+        let mut rejected = 0;
+        for i in 0..24 {
+            match service.submit(request(200 + i)) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::QueueFull) => rejected += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(rejected > 0, "a depth-1 queue must reject under a burst");
+        assert_eq!(service.stats().rejected, rejected);
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_work() {
+        let service =
+            PlanService::new(ServeConfig { workers: 2, queue_depth: 16, ..ServeConfig::default() });
+        let tickets: Vec<PlanTicket> =
+            (0..6).map(|i| service.submit(request(64 + i)).unwrap()).collect();
+        service.shutdown();
+        for t in tickets {
+            assert!(t.wait().is_ok(), "admitted work resolves across shutdown");
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails() {
+        let service = PlanService::new(ServeConfig::default());
+        let inner = Arc::clone(&service.inner);
+        service.queue.lock().unwrap().take();
+        let err = service.plan(request(16)).unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+        drop(service);
+        assert_eq!(inner.compiles.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn serve_batch_preserves_order_under_backpressure() {
+        let service =
+            PlanService::new(ServeConfig { workers: 2, queue_depth: 2, ..ServeConfig::default() });
+        let reqs: Vec<PlanRequest> = (0..10).map(|i| request(16 + (i % 3) * 16)).collect();
+        let direct: Vec<Arc<PartitionOutput>> =
+            reqs.iter().map(|r| service.plan(r.clone()).unwrap()).collect();
+        let batch = service.serve_batch(reqs);
+        assert_eq!(batch.len(), 10);
+        for (got, want) in batch.iter().zip(&direct) {
+            assert_eq!(got.as_ref().unwrap(), want);
+        }
+        // 3 distinct keys → 3 compiles total despite 20 requests.
+        assert_eq!(service.stats().compiles, 3);
+    }
+}

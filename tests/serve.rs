@@ -1,0 +1,175 @@
+//! Integration tests for the serving layer: determinism of the content
+//! address, LRU eviction, single-flight deduplication under real
+//! concurrency, and degraded-mode caching.
+
+use dmcp::core::PartitionConfig;
+use dmcp::mach::{FaultPlan, MachineConfig, NodeId};
+use dmcp::serve::{approx_plan_bytes, PlanRequest, PlanService, ServeConfig, ShardedPlanCache};
+use dmcp::workloads::{all, by_name, Scale};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+fn request(name: &str) -> PlanRequest {
+    let w = by_name(name, Scale::Tiny).expect("known workload");
+    PlanRequest::new(w.program, MachineConfig::knl_like(), PartitionConfig::default())
+        .with_data(w.data)
+}
+
+/// Same `PlanKey` ⇒ bit-identical `PartitionOutput`, whether the plan
+/// comes from a fresh compile, the cache, or a recompile after the cache
+/// was cleared (which exercises the memoized window-size path).
+#[test]
+fn equal_keys_give_bit_identical_plans() {
+    let service = PlanService::new(ServeConfig::default());
+    for w in all(Scale::Tiny) {
+        let req =
+            PlanRequest::new(w.program, MachineConfig::knl_like(), PartitionConfig::default())
+                .with_data(w.data);
+        assert_eq!(req.key(), req.key(), "{}: key must be stable", w.name);
+
+        let compiled = service.plan(req.clone()).expect("compiles");
+        let cached = service.plan(req.clone()).expect("cache hit");
+        assert_eq!(compiled, cached, "{}: cached plan differs", w.name);
+
+        service.cache().clear();
+        let recompiled = service.plan(req).expect("recompile");
+        assert_eq!(compiled, recompiled, "{}: window-memo recompile must be bit-identical", w.name);
+    }
+    service.shutdown();
+}
+
+/// A capacity that fits only a couple of plans evicts in LRU order as the
+/// suite streams through the service.
+#[test]
+fn tiny_capacity_evicts_least_recently_used() {
+    let probe = PlanService::new(ServeConfig::default());
+    let fft = probe.plan(request("fft")).expect("probe plan");
+    let plan_bytes = approx_plan_bytes(&fft);
+    probe.shutdown();
+
+    // One shard so recency ordering is observable; room for ~2 such plans.
+    let cache = ShardedPlanCache::new(1, 2 * plan_bytes + plan_bytes / 2);
+    let (fft_req, lu_req, ocean_req) = (request("fft"), request("lu"), request("ocean"));
+    cache.insert(fft_req.key(), Arc::clone(&fft));
+    cache.insert(lu_req.key(), Arc::clone(&fft));
+    assert!(cache.get(fft_req.key()).is_some(), "refresh fft");
+    cache.insert(ocean_req.key(), Arc::clone(&fft));
+    assert!(cache.get(fft_req.key()).is_some(), "recently touched survives");
+    assert!(cache.get(ocean_req.key()).is_some(), "newest survives");
+    assert!(cache.get(lu_req.key()).is_none(), "LRU victim evicted");
+    assert!(cache.stats().evictions >= 1);
+
+    // End-to-end: a tiny service cache keeps compiling but never grows
+    // past its budget.
+    let service = PlanService::new(ServeConfig {
+        cache_bytes: 2 * plan_bytes,
+        cache_shards: 1,
+        ..ServeConfig::default()
+    });
+    for w in ["fft", "lu", "ocean", "radix", "water"] {
+        service.plan(request(w)).expect("compiles");
+    }
+    let stats = service.stats();
+    assert!(stats.cache.evictions >= 3, "streaming 5 plans through 2 slots evicts");
+    assert!(stats.cache.bytes <= 2 * plan_bytes as u64);
+    service.shutdown();
+}
+
+/// Eight threads racing on the same key produce exactly one compile —
+/// the single-flight table shares the in-flight result.
+#[test]
+fn single_flight_compiles_once_for_eight_racers() {
+    let service = Arc::new(PlanService::new(ServeConfig { workers: 4, ..ServeConfig::default() }));
+    let barrier = Arc::new(Barrier::new(8));
+    let joined = Arc::new(AtomicUsize::new(0));
+    // Collect the handles before joining: a lazy spawn→join chain would
+    // serialize the threads and deadlock on the barrier.
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            let joined = Arc::clone(&joined);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let ticket = service.submit(request("cholesky")).expect("admitted");
+                if !ticket.from_cache() {
+                    joined.fetch_add(1, Ordering::Relaxed);
+                }
+                ticket.wait().expect("plan")
+            })
+        })
+        .collect();
+    let plans: Vec<_> = handles.into_iter().map(|h| h.join().expect("racer panicked")).collect();
+
+    let stats = service.stats();
+    assert_eq!(stats.compiles, 1, "exactly one compile for 8 concurrent requesters");
+    assert_eq!(stats.submitted, 8);
+    for p in &plans[1..] {
+        assert_eq!(p, &plans[0], "all racers see the same plan");
+    }
+    // Every racer was served by the cache, joined the in-flight compile,
+    // or created a flight whose enqueued job found the plan already cached
+    // (the worker re-checks) — never a second compile.
+    let creators = 8 - stats.shared - stats.cache.hits;
+    assert!((1..=8).contains(&creators));
+    assert!(joined.load(Ordering::Relaxed) >= 1);
+}
+
+/// Degraded-mode requests fingerprint distinctly from healthy ones and
+/// from each other, and cache just the same.
+#[test]
+fn degraded_configs_cache_by_fault_fingerprint() {
+    let service = PlanService::new(ServeConfig::default());
+    let healthy = request("ocean");
+
+    let mut one_dead = FaultPlan::healthy();
+    one_dead.kill_node(NodeId::new(1, 1));
+    let degraded_a = healthy.clone().with_faults(one_dead.clone());
+
+    let mut two_dead = one_dead.clone();
+    two_dead.kill_node(NodeId::new(2, 2));
+    let degraded_b = healthy.clone().with_faults(two_dead);
+
+    let keys = [healthy.key(), degraded_a.key(), degraded_b.key()];
+    assert_ne!(keys[0], keys[1]);
+    assert_ne!(keys[1], keys[2]);
+    assert_ne!(keys[0], keys[2]);
+
+    let h1 = service.plan(healthy.clone()).expect("healthy");
+    let a1 = service.plan(degraded_a.clone()).expect("degraded a");
+    let b1 = service.plan(degraded_b.clone()).expect("degraded b");
+    assert_eq!(service.stats().compiles, 3);
+
+    // Second round: all hits, bit-identical results.
+    assert_eq!(service.plan(healthy).expect("hit"), h1);
+    assert_eq!(service.plan(degraded_a).expect("hit"), a1);
+    assert_eq!(service.plan(degraded_b).expect("hit"), b1);
+    let stats = service.stats();
+    assert_eq!(stats.compiles, 3, "second round is pure cache hits");
+    assert_eq!(stats.cache.hits, 3);
+    assert_ne!(h1, a1, "a dead node changes the plan");
+    service.shutdown();
+}
+
+/// The whole suite through `serve_batch`, twice: the second batch does no
+/// work beyond cache lookups.
+#[test]
+fn batched_suite_is_all_hits_second_time() {
+    let service = PlanService::new(ServeConfig::default());
+    let requests: Vec<PlanRequest> = all(Scale::Tiny)
+        .into_iter()
+        .map(|w| {
+            PlanRequest::new(w.program, MachineConfig::knl_like(), PartitionConfig::default())
+                .with_data(w.data)
+        })
+        .collect();
+    let first = service.serve_batch(requests.clone());
+    let compiles_after_first = service.stats().compiles;
+    assert_eq!(compiles_after_first, 12);
+    let second = service.serve_batch(requests);
+    assert_eq!(service.stats().compiles, 12, "no recompiles");
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.as_ref().expect("plan"), b.as_ref().expect("hit"));
+    }
+    service.shutdown();
+}
