@@ -1,0 +1,114 @@
+//! Sweeps the property-testing harness over N seeds and reports.
+//!
+//! ```text
+//! dmcp-check [--seeds N] [--seed0 S] [--budget N] [--orders N]
+//!            [--serve-every N] [--out PATH]
+//! ```
+//!
+//! Exits nonzero if any property produced a counterexample. Writes a
+//! machine-readable summary (seeds/sec, property-run count,
+//! counterexample count) to `--out` (default `BENCH_check.json`).
+
+use dmcp_check::harness::{run, CheckConfig, CheckReport};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    cfg: CheckConfig,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { cfg: CheckConfig::default(), out: "BENCH_check.json".to_string() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seeds" => {
+                args.cfg.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--seed0" => {
+                args.cfg.seed0 = value("--seed0")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--budget" => {
+                args.cfg.budget = value("--budget")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--orders" => {
+                args.cfg.orders = value("--orders")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--serve-every" => {
+                args.cfg.serve_every =
+                    value("--serve-every")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => {
+                return Err("usage: dmcp-check [--seeds N] [--seed0 S] [--budget N] \
+                     [--orders N] [--serve-every N] [--out PATH]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn render_json(report: &CheckReport, elapsed_s: f64) -> String {
+    let seeds_per_s = if elapsed_s > 0.0 { report.seeds as f64 / elapsed_s } else { 0.0 };
+    format!(
+        "{{\n  \"seeds\": {},\n  \"runs\": {},\n  \"elapsed_s\": {:.3},\n  \
+         \"seeds_per_s\": {:.2},\n  \"counterexamples\": {}\n}}\n",
+        report.seeds,
+        report.runs,
+        elapsed_s,
+        seeds_per_s,
+        report.counterexamples.len()
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Properties probe panics via catch_unwind; silence the default hook's
+    // backtrace spam for the duration of the sweep (failures are reported
+    // with full context below).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let start = Instant::now();
+    let report = run(&args.cfg);
+    let elapsed_s = start.elapsed().as_secs_f64();
+    std::panic::set_hook(default_hook);
+
+    println!(
+        "dmcp-check: {} seeds, {} property runs in {:.2}s ({:.1} seeds/s)",
+        report.seeds,
+        report.runs,
+        elapsed_s,
+        report.seeds as f64 / elapsed_s.max(1e-9)
+    );
+    for ce in &report.counterexamples {
+        eprintln!("\nCOUNTEREXAMPLE [{}] seed {}: {}", ce.property, ce.seed, ce.message);
+        if let Some(spec) = &ce.spec {
+            eprintln!("shrunken case:\n{spec}");
+        }
+    }
+
+    let json = render_json(&report, elapsed_s);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    print!("{json}");
+
+    if report.counterexamples.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} counterexample(s) found", report.counterexamples.len());
+        ExitCode::FAILURE
+    }
+}

@@ -460,9 +460,7 @@ impl Partitioner {
         // the choice is made for the whole nest). Judged on the warm half
         // of the records — the cold-start sweep (all predicted misses) is
         // unrepresentative of steady state.
-        let skip = stats.records.len() / 2;
-        let warm_opt: u64 = stats.records[skip..].iter().map(|r| r.movement_opt).sum();
-        let warm_def: u64 = stats.records[skip..].iter().map(|r| r.movement_default).sum();
+        let (warm_opt, warm_def) = stats.warm_movement();
         if !force_default && warm_opt as f64 > self.config.opts.split_threshold * warm_def as f64 {
             let NestPlan { schedule, stats: mut dstats } = plan_nest(
                 program,
@@ -509,8 +507,7 @@ impl Partitioner {
             // Measure on the warm half of the sample only: the cold-start
             // sweep (everything predicted to miss) is unrepresentative of
             // the steady state the chosen window will mostly run in.
-            let skip = trial.stats.records.len() / 2;
-            let movement: u64 = trial.stats.records[skip..].iter().map(|r| r.movement_opt).sum();
+            let (movement, _) = trial.stats.warm_movement();
             if movement < best.0 {
                 best = (movement, w);
             }
@@ -708,6 +705,33 @@ mod tests {
         let mut want = p.initial_data();
         run_sequential(&p, &mut want);
         assert!(got.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn degraded_const_anchor_avoids_the_dead_origin() {
+        // Shrunken fuzz counterexample: constant shift amounts anchor
+        // their MST vertices at the origin tile; with n(0,0) dead, shift
+        // subcomputations used to be placed on the dead node.
+        let p = program(&["A[i] = ((B[i] << 2) >> 2) + 1"], 24);
+        let machine = MachineConfig::knl_like();
+        let mut plan = dmcp_mach::FaultPlan::healthy();
+        plan.kill_node(NodeId::new(0, 0));
+        let faults = FaultState::new(plan, machine.mesh).unwrap();
+        let part =
+            Partitioner::new_degraded(&machine, &p, PartitionConfig::default(), &faults).unwrap();
+        let out = part.try_partition(&p).unwrap();
+        for nest in &out.nests {
+            for step in &nest.schedule.steps {
+                assert!(faults.is_usable(step.node), "step on dead node {}", step.node);
+            }
+        }
+        let mut got = p.initial_data();
+        for n in &out.nests {
+            n.schedule.execute_values(&mut got);
+        }
+        let mut want = p.initial_data();
+        run_sequential(&p, &mut want);
+        assert!(got.approx_eq(&want, 0.0));
     }
 
     #[test]

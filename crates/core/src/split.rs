@@ -416,7 +416,8 @@ impl<'a> Planner<'a> {
                 }
             }
         }
-        let vertices: Vec<MstVertex> = nodes.iter().map(plan_vertex).collect();
+        let anchor = self.const_anchor();
+        let vertices: Vec<MstVertex> = nodes.iter().map(|n| plan_vertex(n, anchor)).collect();
         let edges = kruskal(&vertices);
         GroupPlan { class: group.class, nodes, consts, vertices, edges }
     }
@@ -466,8 +467,23 @@ impl<'a> Planner<'a> {
 
         let n = plan.vertices.len();
         if n == 0 {
-            // Constants only (e.g. `A[i] = 3`): a single store step.
-            let st = store.expect("const-only groups only occur at statement level");
+            // Constants only. As a nested subgroup (e.g. the `(2 + 3)` in
+            // `A[i] = (2 + 3) & 63`) the group folds to a compile-time
+            // value: no step, no movement — the consumer folds the
+            // constant directly.
+            let Some(st) = store else {
+                let mut value = plan.class.identity();
+                for &(op, v) in &plan.consts {
+                    value = op.apply(value, v);
+                }
+                return Emitted {
+                    operand: Operand::Const(value),
+                    node: target,
+                    movement: 0,
+                    l1_hits: 0,
+                };
+            };
+            // At statement level (e.g. `A[i] = 3`): a single store step.
             let node = force.unwrap_or(st.home);
             let id = SubId(steps.len() as u32);
             let step = Step {
@@ -707,6 +723,22 @@ impl<'a> Planner<'a> {
     /// are tried in order of distance from `anchor`; an overloaded node is
     /// skipped in favour of the next one (paper Section 4.5), falling back
     /// to the least-loaded candidate when all would overload.
+    /// Where location-free operands (constants and constants-only
+    /// subgroups) anchor: the origin tile, or the live node nearest it on
+    /// a degraded machine. Anchor locations can become execution sites,
+    /// so the anchor must be somewhere a step may actually run.
+    fn const_anchor(&self) -> NodeId {
+        let origin = NodeId::new(0, 0);
+        match self.layout.live_nodes() {
+            None => origin,
+            Some(live) => live
+                .iter()
+                .copied()
+                .min_by_key(|n| (n.manhattan(origin), *n))
+                .expect("degraded layouts keep at least one live node"),
+        }
+    }
+
     fn choose_node(&mut self, vertex: &MstVertex, anchor: NodeId, cost: f64) -> NodeId {
         // Candidates: every mesh node, ordered by the true movement cost of
         // executing the subcomputation there — fetching the vertex's datum
@@ -769,7 +801,12 @@ fn cost_estimate(plan: &GroupPlan, v: usize) -> f64 {
     }
 }
 
-fn plan_vertex(node: &PlanNode) -> MstVertex {
+/// `const_anchor` is the site location-free operands (constants,
+/// constants-only subgroups) are anchored at: the origin tile on a
+/// healthy machine, the live node nearest the origin on a degraded one —
+/// anchor locations can become execution sites, so a dead anchor would
+/// leak dead nodes into the schedule.
+fn plan_vertex(node: &PlanNode, const_anchor: NodeId) -> MstVertex {
     match node {
         PlanNode::Leaf { info, .. } => MstVertex::multi(info.candidates.clone()),
         PlanNode::Sub { plan, .. } => {
@@ -779,12 +816,12 @@ fn plan_vertex(node: &PlanNode) -> MstVertex {
             locs.dedup();
             if locs.is_empty() {
                 // A constants-only subgroup has no location; it can be
-                // computed anywhere, so anchor it at the origin tile.
-                locs.push(NodeId::new(0, 0));
+                // computed anywhere.
+                locs.push(const_anchor);
             }
             MstVertex::multi(locs)
         }
-        PlanNode::Const { .. } => MstVertex::single(NodeId::new(0, 0)),
+        PlanNode::Const { .. } => MstVertex::single(const_anchor),
     }
 }
 
@@ -1020,5 +1057,17 @@ mod tests {
         }
         assert!(mix.total() > 0, "nothing was re-mapped");
         assert!(mix.mul_div > 0, "expected re-mapped mul/div ops: {mix:?}");
+    }
+    #[test]
+    fn const_only_subgroups_fold_without_panicking() {
+        // Shrunken fuzz counterexamples: a constants-only subexpression
+        // nested inside another group used to hit the statement-level
+        // store expectation and panic. It must fold to a compile-time
+        // constant instead.
+        let (program, sched, _) = plan_program(
+            &["A[i] = (2 + 3) & 63", "X[i] = (2 * 3) - B[i]", "Y[i] = (1 + 1) << 2"],
+            PlanOptions::default(),
+        );
+        check_correct(&program, &sched);
     }
 }

@@ -165,27 +165,49 @@ impl Schedule {
     pub fn execute_values(&self, data: &mut dmcp_ir::program::DataStore) {
         let mut temps = vec![f64::NAN; self.steps.len()];
         for (k, step) in self.steps.iter().enumerate() {
-            let mut acc = step.seed;
-            for input in &step.inputs {
-                let value = match input.operand {
-                    Operand::Const(v) => v,
-                    Operand::Elem(e) => data.get(e.array, e.elem),
-                    Operand::Temp(t) => {
-                        assert!(t.index() < k, "temp {t:?} not yet produced at step {k}");
-                        temps[t.index()]
-                    }
-                };
-                acc = Some(match acc {
-                    None => value,
-                    Some(a) => input.op.apply(a, value),
-                });
+            for p in step.producers() {
+                assert!(p.index() < k, "temp {p:?} not yet produced at step {k}");
             }
-            let result = acc.unwrap_or(0.0);
-            temps[k] = result;
-            if let Some(st) = &step.store {
-                data.set(st.array, st.elem, result);
-            }
+            eval_step(step, k, &mut temps, data);
         }
+    }
+
+    /// Executes the schedule's values in an arbitrary caller-supplied step
+    /// order, verifying along the way that the order is a permutation
+    /// consistent with every step's [`Step::producers`] arcs.
+    ///
+    /// This is the conformance harness's adversarial executor: because the
+    /// dependence tracker wires every flow/anti/output arc between steps
+    /// (across window boundaries), *any* producer-respecting order must
+    /// compute the same values as the sequential order. A divergence means
+    /// a missing synchronisation arc, not an unlucky order.
+    pub fn execute_values_ordered(
+        &self,
+        order: &[usize],
+        data: &mut dmcp_ir::program::DataStore,
+    ) -> Result<(), String> {
+        if order.len() != self.steps.len() {
+            return Err(format!(
+                "order has {} entries for {} steps",
+                order.len(),
+                self.steps.len()
+            ));
+        }
+        let mut done = vec![false; self.steps.len()];
+        let mut temps = vec![f64::NAN; self.steps.len()];
+        for &k in order {
+            let step = self.steps.get(k).ok_or_else(|| format!("order names step {k}"))?;
+            if std::mem::replace(&mut done[k], true) {
+                return Err(format!("order repeats step {k}"));
+            }
+            for p in step.producers() {
+                if !done[p.index()] {
+                    return Err(format!("step {k} ordered before its producer {p:?}"));
+                }
+            }
+            eval_step(step, k, &mut temps, data);
+        }
+        Ok(())
     }
 
     /// Checks structural sanity: ids match indices, temps and waits point
@@ -205,6 +227,29 @@ impl Schedule {
             }
         }
         Ok(())
+    }
+}
+
+/// Evaluates one step: folds its inputs onto the seed, records the result
+/// as step `k`'s temp, and performs the store if any. Callers must have
+/// produced every temp the step reads.
+fn eval_step(step: &Step, k: usize, temps: &mut [f64], data: &mut dmcp_ir::program::DataStore) {
+    let mut acc = step.seed;
+    for input in &step.inputs {
+        let value = match input.operand {
+            Operand::Const(v) => v,
+            Operand::Elem(e) => data.get(e.array, e.elem),
+            Operand::Temp(t) => temps[t.index()],
+        };
+        acc = Some(match acc {
+            None => value,
+            Some(a) => input.op.apply(a, value),
+        });
+    }
+    let result = acc.unwrap_or(0.0);
+    temps[k] = result;
+    if let Some(st) = &step.store {
+        data.set(st.array, st.elem, result);
     }
 }
 
@@ -271,6 +316,15 @@ mod tests {
         sched.validate().unwrap();
         sched.execute_values(&mut data);
         assert_eq!(data.get(a, 0), 20.0);
+
+        let mut again = p.initial_data();
+        again.fill(x, &[2.0, 3.0, 4.0, 5.0]);
+        sched.execute_values_ordered(&[0, 1], &mut again).unwrap();
+        assert_eq!(again.get(a, 0), 20.0);
+        // Step 1 reads step 0's temp, so the reversed order must be refused.
+        assert!(sched.execute_values_ordered(&[1, 0], &mut again).is_err());
+        assert!(sched.execute_values_ordered(&[0], &mut again).is_err());
+        assert!(sched.execute_values_ordered(&[0, 0], &mut again).is_err());
     }
 
     #[test]

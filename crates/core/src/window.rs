@@ -48,6 +48,18 @@ pub struct NestStats {
 }
 
 impl NestStats {
+    /// `(optimised, default)` movement summed over the warm half of the
+    /// records — the quantity the nest-level split-vs-default decision and
+    /// the window search are judged on (the cold-start sweep, all
+    /// predicted misses, is unrepresentative of steady state). Exposed so
+    /// external checkers can reproduce the partitioner's decisions.
+    pub fn warm_movement(&self) -> (u64, u64) {
+        let skip = self.records.len() / 2;
+        let opt = self.records[skip..].iter().map(|r| r.movement_opt).sum();
+        let def = self.records[skip..].iter().map(|r| r.movement_default).sum();
+        (opt, def)
+    }
+
     /// Mean per-instance movement reduction (instances with zero default
     /// movement are skipped).
     pub fn avg_movement_reduction(&self) -> f64 {

@@ -21,6 +21,7 @@
 //! | [`workloads`] | `dmcp-workloads` | the 12 kernels (Splash-2 + Mantevo shapes) |
 //! | [`baselines`] | `dmcp-baselines` | profiled default placement, data-to-MC mapping |
 //! | [`serve`] | `dmcp-serve` | plan compilation service: content-addressed cache, worker pool |
+//! | [`check`] | `dmcp-check` | property-testing harness: generators, oracles, shrinking |
 //!
 //! # Quick start
 //!
@@ -43,6 +44,7 @@
 //! ```
 
 pub use dmcp_baselines as baselines;
+pub use dmcp_check as check;
 pub use dmcp_core as core;
 pub use dmcp_ir as ir;
 pub use dmcp_mach as mach;

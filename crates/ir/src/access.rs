@@ -68,11 +68,14 @@ impl AffineExpr {
         Self { c0: 0, terms: vec![(v, 1)] }
     }
 
-    /// Adds `coeff · v` to the expression.
+    /// Adds `coeff · v` to the expression. Coefficients combine with
+    /// wrapping arithmetic, matching [`AffineExpr::eval`] (a parsed
+    /// subscript like `B[i*9223372036854775807 + i*2]` must fold without
+    /// panicking).
     pub fn plus_term(mut self, v: VarId, coeff: i64) -> Self {
         if coeff != 0 {
             match self.terms.iter_mut().find(|(tv, _)| *tv == v) {
-                Some((_, c)) => *c += coeff,
+                Some((_, c)) => *c = c.wrapping_add(coeff),
                 None => self.terms.push((v, coeff)),
             }
             self.terms.retain(|&(_, c)| c != 0);
@@ -81,13 +84,16 @@ impl AffineExpr {
     }
 
     /// Evaluates at a concrete iteration vector.
+    ///
+    /// Arithmetic wraps: subscript values are reduced into array bounds by
+    /// `rem_euclid` downstream anyway, so two's-complement wrapping is the
+    /// defined semantics for extreme coefficients (the `dmcp-check` fuzzer
+    /// found debug-build overflow panics here with coefficients near
+    /// `i64::MAX`).
     pub fn eval(&self, iter: &[i64]) -> i64 {
-        self.c0
-            + self
-                .terms
-                .iter()
-                .map(|&(v, c)| c * iter.get(v.depth()).copied().unwrap_or(0))
-                .sum::<i64>()
+        self.terms.iter().fold(self.c0, |acc, &(v, c)| {
+            acc.wrapping_add(c.wrapping_mul(iter.get(v.depth()).copied().unwrap_or(0)))
+        })
     }
 
     /// `true` if the expression involves no loop variable.
@@ -195,6 +201,23 @@ mod tests {
     fn missing_vars_evaluate_as_zero() {
         let e = AffineExpr::var(v(3));
         assert_eq!(e.eval(&[1, 2]), 0);
+    }
+
+    // dmcp-check shrunken counterexample: `B[i*4611686018427387904]` at
+    // i = 4 overflowed `c * iter` in debug builds. Evaluation now wraps.
+    #[test]
+    fn eval_wraps_on_extreme_coefficients() {
+        let e = AffineExpr::constant(i64::MAX).plus_term(v(0), 1 << 62);
+        assert_eq!(e.eval(&[4]), i64::MAX.wrapping_add((1i64 << 62).wrapping_mul(4)));
+    }
+
+    // dmcp-check shrunken counterexample: parsing
+    // `B[i*9223372036854775807 + i*2]` folded the two coefficients with a
+    // checked add and panicked in debug builds.
+    #[test]
+    fn plus_term_wraps_when_merging_coefficients() {
+        let e = AffineExpr::var(v(0)).plus_term(v(0), i64::MAX);
+        assert_eq!(e.terms, vec![(v(0), i64::MIN)]);
     }
 
     #[test]

@@ -59,4 +59,6 @@ pub use expr::Expr;
 pub use fingerprint::{StableHash, StableHasher};
 pub use nested::{Element, Group, OpClass, Term};
 pub use op::BinOp;
-pub use program::{ArrayDecl, IterVec, LoopDim, LoopNest, Program, ProgramBuilder, Statement};
+pub use program::{
+    ArrayDecl, DataStore, IterVec, LoopDim, LoopNest, Mismatch, Program, ProgramBuilder, Statement,
+};

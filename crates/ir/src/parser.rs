@@ -307,9 +307,11 @@ impl Parser<'_> {
         loop {
             let (var, coeff) = self.parse_affine_term()?;
             let signed = if negate { -coeff } else { coeff };
+            // Wrapping, like AffineExpr::eval: `B[9223372036854775807 + 1]`
+            // must parse without a debug-build overflow panic.
             match var {
                 Some(v) => affine = affine.plus_term(v, signed),
-                None => affine.c0 += signed,
+                None => affine.c0 = affine.c0.wrapping_add(signed),
             }
             match self.peek() {
                 Some(Token::Plus) => {
@@ -381,6 +383,17 @@ mod tests {
         c.add_var("i", VarId::from_depth(0));
         c.add_var("j", VarId::from_depth(1));
         c
+    }
+
+    // dmcp-check shrunken counterexample: the constant-fold in
+    // `parse_index` overflowed `c0 + signed` in debug builds.
+    #[test]
+    fn subscript_constant_fold_wraps() {
+        let s = parse_statement("A[9223372036854775807 + 1] = B[i]", &ctx()).unwrap();
+        match &s.lhs.indices[0] {
+            IndexExpr::Affine(a) => assert_eq!(a.c0, i64::MIN),
+            other => panic!("expected affine subscript, got {other:?}"),
+        }
     }
 
     #[test]

@@ -20,9 +20,14 @@ pub struct LoopDim {
 }
 
 impl LoopDim {
-    /// Number of iterations of this dimension.
+    /// Number of iterations of this dimension. Saturates instead of
+    /// overflowing for pathological bounds like `(i64::MIN, i64::MAX)`
+    /// (found by the `dmcp-check` program-shape fuzzer).
     pub fn trip_count(&self) -> u64 {
-        (self.hi - self.lo).max(0) as u64
+        if self.hi <= self.lo {
+            return 0;
+        }
+        u64::try_from(i128::from(self.hi) - i128::from(self.lo)).unwrap_or(u64::MAX)
     }
 }
 
@@ -94,9 +99,11 @@ pub struct LoopNest {
 }
 
 impl LoopNest {
-    /// Total number of iterations (product of trip counts).
+    /// Total number of iterations (product of trip counts, saturating: a
+    /// nest whose true count exceeds `u64::MAX` reports `u64::MAX` rather
+    /// than overflowing).
     pub fn iteration_count(&self) -> u64 {
-        self.dims.iter().map(LoopDim::trip_count).product()
+        self.dims.iter().map(LoopDim::trip_count).fold(1u64, u64::saturating_mul)
     }
 
     /// Iterates over all iteration vectors in lexicographic (execution)
@@ -286,9 +293,11 @@ impl Program {
             let weight = nest.iteration_count();
             for stmt in &nest.body {
                 for r in stmt.all_refs() {
-                    total += weight;
+                    // Saturate: a nest at the `u64::MAX` trip-count ceiling
+                    // contributes ceiling weight per reference, not a wrap.
+                    total = total.saturating_add(weight);
                     if r.analyzable {
-                        ok += weight;
+                        ok = ok.saturating_add(weight);
                     }
                 }
             }
@@ -314,6 +323,20 @@ impl Program {
 #[derive(Clone, Debug, PartialEq)]
 pub struct DataStore {
     values: Vec<Vec<f64>>,
+}
+
+/// One element where two [`DataStore`]s disagree, as reported by
+/// [`DataStore::first_mismatch`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mismatch {
+    /// The array the disagreeing element belongs to.
+    pub array: ArrayId,
+    /// Linear element index within the array.
+    pub elem: u64,
+    /// The value in `self`.
+    pub left: f64,
+    /// The value in `other`.
+    pub right: f64,
 }
 
 impl DataStore {
@@ -346,14 +369,65 @@ impl DataStore {
     /// `true` if every element matches `other` within relative tolerance
     /// `rel_tol` (reordered `/` chains are equal only up to rounding).
     pub fn approx_eq(&self, other: &DataStore, rel_tol: f64) -> bool {
+        self.same_shape(other) && self.first_mismatch(other, rel_tol).is_none()
+    }
+
+    /// `true` if both stores hold the same arrays with the same lengths
+    /// (i.e. were built for structurally identical programs).
+    pub fn same_shape(&self, other: &DataStore) -> bool {
         self.values.len() == other.values.len()
-            && self.values.iter().zip(&other.values).all(|(a, b)| {
-                a.len() == b.len()
-                    && a.iter().zip(b).all(|(&x, &y)| {
-                        let scale = x.abs().max(y.abs()).max(1.0);
+            && self.values.iter().zip(&other.values).all(|(a, b)| a.len() == b.len())
+    }
+
+    /// The first element (in array-major order) where the two stores differ
+    /// by more than `rel_tol` relative tolerance, or `None` if they agree.
+    /// With `rel_tol == 0.0` this is a bit-exactness check. Non-finite
+    /// values conform only to the same class — equal infinities or both
+    /// NaN — never to a finite value, whatever the tolerance (`inf − inf`
+    /// is NaN, so the relative formula alone would both reject agreeing
+    /// infinities and accept a finite value against infinity).
+    /// Conformance checkers use the returned [`Mismatch`] to report
+    /// *where* a schedule diverged from the interpreter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stores have different shapes; compare shapes first
+    /// with [`DataStore::same_shape`] when that is not already known.
+    pub fn first_mismatch(&self, other: &DataStore, rel_tol: f64) -> Option<Mismatch> {
+        assert!(self.same_shape(other), "first_mismatch on differently-shaped stores");
+        for (ai, (a, b)) in self.values.iter().zip(&other.values).enumerate() {
+            for (e, (&x, &y)) in a.iter().zip(b).enumerate() {
+                let agree = if x.is_finite() && y.is_finite() {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    if rel_tol == 0.0 {
+                        x == y
+                    } else {
                         (x - y).abs() <= rel_tol * scale
-                    })
-            })
+                    }
+                } else {
+                    x == y || (x.is_nan() && y.is_nan())
+                };
+                if !agree {
+                    return Some(Mismatch {
+                        array: ArrayId::from_index(ai),
+                        elem: e as u64,
+                        left: x,
+                        right: y,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of arrays in the store.
+    pub fn array_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of elements held for `array`.
+    pub fn len_of(&self, array: ArrayId) -> u64 {
+        self.values[array.index()].len() as u64
     }
 
     /// The raw per-array value vectors, for the structural hasher.
@@ -568,6 +642,76 @@ mod tests {
         let nest =
             LoopNest { dims: vec![LoopDim { name: "i".into(), lo: 5, hi: 5 }], body: vec![] };
         assert_eq!(nest.iterations().count(), 0);
+    }
+
+    // dmcp-check shrunken counterexample: a generated nest with bounds
+    // `(i64::MIN, i64::MAX)` overflowed `hi - lo` in debug builds; two such
+    // dimensions then overflowed the trip-count product. Both saturate now.
+    #[test]
+    fn trip_count_saturates_on_extreme_bounds() {
+        let d = LoopDim { name: "i".into(), lo: i64::MIN, hi: i64::MAX };
+        assert_eq!(d.trip_count(), u64::MAX);
+        let nest = LoopNest {
+            dims: vec![
+                LoopDim { name: "i".into(), lo: i64::MIN, hi: i64::MAX },
+                LoopDim { name: "j".into(), lo: 0, hi: 3 },
+            ],
+            body: vec![],
+        };
+        assert_eq!(nest.iteration_count(), u64::MAX);
+        let backwards = LoopDim { name: "i".into(), lo: i64::MAX, hi: i64::MIN };
+        assert_eq!(backwards.trip_count(), 0);
+    }
+
+    #[test]
+    fn first_mismatch_compares_non_finite_values_by_class() {
+        // Shrunken fuzz counterexample: a generated division by zero made
+        // both the plan and the interpreter store +inf, and the relative
+        // formula rejected the agreement (inf − inf is NaN).
+        let p = two_array_program();
+        let a_id = ArrayId::from_index(0);
+        let mut a = p.initial_data();
+        let mut b = a.clone();
+        a.set(a_id, 0, f64::INFINITY);
+        b.set(a_id, 0, f64::INFINITY);
+        a.set(a_id, 1, f64::NAN);
+        b.set(a_id, 1, f64::NAN);
+        assert!(a.first_mismatch(&b, 1e-9).is_none(), "matching non-finites must conform");
+        b.set(a_id, 0, 1e300);
+        let m = a.first_mismatch(&b, 1e-9).expect("inf vs finite must not conform");
+        assert_eq!(m.elem, 0);
+        b.set(a_id, 0, f64::NEG_INFINITY);
+        assert!(a.first_mismatch(&b, 1e-9).is_some(), "opposite infinities differ");
+    }
+
+    #[test]
+    fn dynamic_analyzability_saturates_on_extreme_trip_counts() {
+        // Shrunken fuzz counterexample: a full-range nest weighs each
+        // reference at u64::MAX; summing two references used to wrap and
+        // panic in debug builds.
+        let mut b = ProgramBuilder::new();
+        b.array("a0", &[8], 8);
+        b.array("a1", &[8], 8);
+        b.nest(&[("i0", i64::MIN, i64::MAX)], &["a0[i0] = a1[i0] + 1"]).unwrap();
+        let p = b.build();
+        let f = p.dynamic_analyzability();
+        assert!((0.0..=1.0).contains(&f), "not a fraction: {f}");
+    }
+
+    #[test]
+    fn first_mismatch_reports_location_and_values() {
+        let p = two_array_program();
+        let a = p.initial_data();
+        let mut b = a.clone();
+        assert!(a.first_mismatch(&b, 0.0).is_none());
+        b.set(ArrayId::from_index(1), 3, -7.5);
+        let m = a.first_mismatch(&b, 0.0).expect("stores differ");
+        assert_eq!(m.array, ArrayId::from_index(1));
+        assert_eq!(m.elem, 3);
+        assert_eq!(m.right, -7.5);
+        assert!(!a.approx_eq(&b, 1e-9));
+        assert_eq!(a.array_count(), 2);
+        assert_eq!(a.len_of(ArrayId::from_index(0)), 16);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   the fault-aware detour router [`route_avoiding`];
 //! - [`rng`] — the small deterministic PRNG behind workload generation and
 //!   the fault model's drop schedule;
+//! - [`symmetry`] — the Manhattan-distance-preserving mesh relabellings the
+//!   metamorphic test sweeps are built on;
 //! - [`fingerprint`] — stable machine/fault fingerprints for the serving
 //!   layer's plan cache.
 //!
@@ -43,6 +45,7 @@ pub mod mesh;
 pub mod node;
 pub mod rng;
 pub mod routing;
+pub mod symmetry;
 
 pub use cluster::ClusterMode;
 pub use config::{EnergyModel, LatencyModel, MachineConfig};
@@ -51,3 +54,4 @@ pub use fingerprint::Fingerprint;
 pub use mesh::{Mesh, Quadrant};
 pub use node::NodeId;
 pub use routing::{Link, RouteOrder, RoutePath};
+pub use symmetry::MeshTransform;

@@ -1,0 +1,175 @@
+//! Mesh isometries: the rigid transforms of a rectangular mesh that
+//! preserve Manhattan distance.
+//!
+//! The partitioner's movement metric (paper Eq. 1) is built entirely on
+//! Manhattan distances between tiles, so relabelling every node through a
+//! distance-preserving transform must leave every MST weight — and hence
+//! every movement total — unchanged. The `dmcp-check` metamorphic sweeps
+//! use these transforms to hunt for accidental coordinate dependence.
+//!
+//! A `cols × rows` rectangle admits four isometries (identity, the two
+//! mirrors, and the 180° rotation); a square additionally admits the
+//! transpose, the anti-transpose and the two 90° rotations. Non-square
+//! transforms map onto a mesh with swapped dimensions, which
+//! [`MeshTransform::output_mesh`] reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmcp_mach::{Mesh, MeshTransform, NodeId};
+//!
+//! let mesh = Mesh::new(4, 3);
+//! let t = MeshTransform::MirrorX;
+//! let (a, b) = (NodeId::new(0, 1), NodeId::new(3, 2));
+//! assert_eq!(
+//!     t.apply(mesh, a).manhattan(t.apply(mesh, b)),
+//!     a.manhattan(b),
+//! );
+//! ```
+
+use crate::mesh::Mesh;
+use crate::node::NodeId;
+
+/// A rigid, Manhattan-distance-preserving relabelling of mesh nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MeshTransform {
+    /// `(x, y) → (x, y)`.
+    Identity,
+    /// `(x, y) → (cols−1−x, y)`.
+    MirrorX,
+    /// `(x, y) → (x, rows−1−y)`.
+    MirrorY,
+    /// `(x, y) → (cols−1−x, rows−1−y)`.
+    Rot180,
+    /// `(x, y) → (y, x)`; output mesh has swapped dimensions.
+    Transpose,
+    /// 90° rotation `(x, y) → (rows−1−y, x)`; output mesh has swapped
+    /// dimensions.
+    Rot90,
+    /// 270° rotation `(x, y) → (y, cols−1−x)`; output mesh has swapped
+    /// dimensions.
+    Rot270,
+    /// Anti-transpose `(x, y) → (rows−1−y, cols−1−x)`; output mesh has
+    /// swapped dimensions.
+    AntiTranspose,
+}
+
+impl MeshTransform {
+    /// All eight transforms of the dihedral group of the square.
+    pub const ALL: [MeshTransform; 8] = [
+        MeshTransform::Identity,
+        MeshTransform::MirrorX,
+        MeshTransform::MirrorY,
+        MeshTransform::Rot180,
+        MeshTransform::Transpose,
+        MeshTransform::Rot90,
+        MeshTransform::Rot270,
+        MeshTransform::AntiTranspose,
+    ];
+
+    /// `true` if the transform swaps the mesh's dimensions.
+    pub fn swaps_dims(self) -> bool {
+        matches!(
+            self,
+            MeshTransform::Transpose
+                | MeshTransform::Rot90
+                | MeshTransform::Rot270
+                | MeshTransform::AntiTranspose
+        )
+    }
+
+    /// The transforms applicable to `mesh`: all eight for a square, the
+    /// four dimension-preserving ones for a proper rectangle.
+    pub fn for_mesh(mesh: Mesh) -> Vec<MeshTransform> {
+        Self::ALL.into_iter().filter(|t| mesh.cols() == mesh.rows() || !t.swaps_dims()).collect()
+    }
+
+    /// The mesh the transformed coordinates live on (`mesh` itself unless
+    /// the transform swaps dimensions).
+    pub fn output_mesh(self, mesh: Mesh) -> Mesh {
+        if self.swaps_dims() {
+            Mesh::new(mesh.rows(), mesh.cols())
+        } else {
+            mesh
+        }
+    }
+
+    /// Applies the transform to one node of `mesh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is off the mesh.
+    pub fn apply(self, mesh: Mesh, node: NodeId) -> NodeId {
+        assert!(mesh.contains(node), "transform of off-mesh node {node:?} on {mesh:?}");
+        let (x, y) = (node.x(), node.y());
+        let (w, h) = (mesh.cols() - 1, mesh.rows() - 1);
+        match self {
+            MeshTransform::Identity => NodeId::new(x, y),
+            MeshTransform::MirrorX => NodeId::new(w - x, y),
+            MeshTransform::MirrorY => NodeId::new(x, h - y),
+            MeshTransform::Rot180 => NodeId::new(w - x, h - y),
+            MeshTransform::Transpose => NodeId::new(y, x),
+            MeshTransform::Rot90 => NodeId::new(h - y, x),
+            MeshTransform::Rot270 => NodeId::new(y, w - x),
+            MeshTransform::AntiTranspose => NodeId::new(h - y, w - x),
+        }
+    }
+}
+
+/// Translates `node` by `(dx, dy)`, or `None` if the result leaves the
+/// mesh. Translation is the remaining family of Manhattan isometries the
+/// metamorphic sweeps use (for vertex sets that fit after shifting).
+pub fn translate(mesh: Mesh, node: NodeId, dx: i32, dy: i32) -> Option<NodeId> {
+    let x = i32::from(node.x()) + dx;
+    let y = i32::from(node.y()) + dy;
+    if x < 0 || y < 0 {
+        return None;
+    }
+    let moved = NodeId::new(u16::try_from(x).ok()?, u16::try_from(y).ok()?);
+    mesh.contains(moved).then_some(moved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transforms_are_distance_preserving_bijections() {
+        for mesh in [Mesh::new(2, 2), Mesh::new(3, 2), Mesh::new(4, 3), Mesh::new(3, 3)] {
+            for t in MeshTransform::for_mesh(mesh) {
+                let out = t.output_mesh(mesh);
+                let mut seen = std::collections::HashSet::new();
+                for n in mesh.nodes() {
+                    let m = t.apply(mesh, n);
+                    assert!(out.contains(m), "{t:?} maps {n:?} off {out:?}");
+                    assert!(seen.insert(m), "{t:?} is not injective at {n:?}");
+                }
+                for a in mesh.nodes() {
+                    for b in mesh.nodes() {
+                        assert_eq!(
+                            t.apply(mesh, a).manhattan(t.apply(mesh, b)),
+                            a.manhattan(b),
+                            "{t:?} distorts d({a:?},{b:?}) on {mesh:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rectangle_excludes_dim_swapping_transforms() {
+        let rect = MeshTransform::for_mesh(Mesh::new(4, 3));
+        assert_eq!(rect.len(), 4);
+        assert!(rect.iter().all(|t| !t.swaps_dims()));
+        assert_eq!(MeshTransform::for_mesh(Mesh::new(3, 3)).len(), 8);
+    }
+
+    #[test]
+    fn translate_respects_bounds() {
+        let mesh = Mesh::new(3, 3);
+        assert_eq!(translate(mesh, NodeId::new(1, 1), 1, -1), Some(NodeId::new(2, 0)));
+        assert_eq!(translate(mesh, NodeId::new(2, 2), 1, 0), None);
+        assert_eq!(translate(mesh, NodeId::new(0, 0), -1, 0), None);
+    }
+}

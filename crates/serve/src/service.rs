@@ -172,53 +172,65 @@ struct Inner {
     single_flight: bool,
 }
 
+/// Compiles one request from scratch, optionally reusing per-nest window
+/// sizes from a previous compile of the same key. Pure: touches no cache,
+/// memo or counter. Both the worker-pool path and the conformance path
+/// ([`PlanService::plan_uncached`]) funnel through here, so "cached" and
+/// "recompiled" plans are produced by the same code.
+fn compile_output(
+    request: &PlanRequest,
+    windows: Option<&[usize]>,
+) -> Result<PartitionOutput, ServeError> {
+    let data = match &request.data {
+        Some(d) => d.clone(),
+        None => request.program.initial_data(),
+    };
+    match &request.faults {
+        None => {
+            request.config.validate()?;
+            let partitioner =
+                Partitioner::new(&request.machine, &request.program, request.config.clone());
+            Ok(match windows {
+                Some(w) => partitioner.partition_with_data_reusing(&request.program, &data, w),
+                None => partitioner.partition_with_data(&request.program, &data),
+            })
+        }
+        Some(plan) => {
+            let faults = FaultState::new(plan.clone(), request.machine.mesh)
+                .map_err(PartitionError::from)?;
+            let partitioner = Partitioner::new_degraded(
+                &request.machine,
+                &request.program,
+                request.config.clone(),
+                &faults,
+            )?;
+            let out = match windows {
+                Some(w) => partitioner.partition_with_data_reusing(&request.program, &data, w),
+                None => partitioner.partition_with_data(&request.program, &data),
+            };
+            // Degraded plans must uphold the live-node invariant; check
+            // exactly as `try_partition` would.
+            for nest in &out.nests {
+                for step in &nest.schedule.steps {
+                    if !partitioner.layout().is_live(step.node) {
+                        return Err(ServeError::Compile(PartitionError::DeadNodeInSchedule {
+                            nest: nest.nest,
+                            node: step.node,
+                        }));
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
 impl Inner {
     /// Compiles one request, reusing memoized window sizes when available.
     fn compile(&self, key: PlanKey, request: &PlanRequest) -> PlanResult {
         self.compiles.fetch_add(1, Ordering::Relaxed);
         let windows = self.windows.lock().expect("window memo poisoned").get(&key).cloned();
-        let data = match &request.data {
-            Some(d) => d.clone(),
-            None => request.program.initial_data(),
-        };
-        let out = match &request.faults {
-            None => {
-                request.config.validate()?;
-                let partitioner =
-                    Partitioner::new(&request.machine, &request.program, request.config.clone());
-                match &windows {
-                    Some(w) => partitioner.partition_with_data_reusing(&request.program, &data, w),
-                    None => partitioner.partition_with_data(&request.program, &data),
-                }
-            }
-            Some(plan) => {
-                let faults = FaultState::new(plan.clone(), request.machine.mesh)
-                    .map_err(PartitionError::from)?;
-                let partitioner = Partitioner::new_degraded(
-                    &request.machine,
-                    &request.program,
-                    request.config.clone(),
-                    &faults,
-                )?;
-                let out = match &windows {
-                    Some(w) => partitioner.partition_with_data_reusing(&request.program, &data, w),
-                    None => partitioner.partition_with_data(&request.program, &data),
-                };
-                // Degraded plans must uphold the live-node invariant; check
-                // exactly as `try_partition` would.
-                for nest in &out.nests {
-                    for step in &nest.schedule.steps {
-                        if !partitioner.layout().is_live(step.node) {
-                            return Err(ServeError::Compile(PartitionError::DeadNodeInSchedule {
-                                nest: nest.nest,
-                                node: step.node,
-                            }));
-                        }
-                    }
-                }
-                out
-            }
-        };
+        let out = compile_output(request, windows.as_deref())?;
         if windows.is_none() {
             self.windows.lock().expect("window memo poisoned").insert(key, out.window_sizes());
         }
@@ -352,6 +364,22 @@ impl PlanService {
         self.submit(request)?.wait()
     }
 
+    /// Compiles `request` synchronously on the calling thread, bypassing
+    /// the cache, the queue, single-flight *and* the window-size memo —
+    /// nothing is read from or written to any service state, and the
+    /// window search runs from scratch.
+    ///
+    /// This is the conformance harness's reference path: the serving
+    /// invariant is that a plan answered from the cache is bit-identical
+    /// to this from-scratch recompile of an equal key.
+    ///
+    /// # Errors
+    ///
+    /// Compile errors only ([`ServeError::Compile`]).
+    pub fn plan_uncached(&self, request: &PlanRequest) -> PlanResult {
+        compile_output(request, None).map(Arc::new)
+    }
+
     /// Compiles a batch: submits every request (applying backpressure by
     /// waiting for earlier tickets whenever the queue is full) and waits
     /// for all results, returned in request order.
@@ -467,6 +495,18 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.compiles, 1);
         assert_eq!(stats.cache.hits, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn plan_uncached_matches_cached_and_touches_no_state() {
+        let service = PlanService::new(ServeConfig::default());
+        let cached = service.plan(request(32)).unwrap();
+        let fresh = service.plan_uncached(&request(32)).unwrap();
+        assert_eq!(cached, fresh);
+        let stats = service.stats();
+        assert_eq!(stats.compiles, 1, "uncached compile bypasses the pool");
+        assert_eq!(stats.cache.hits, 0, "uncached compile does not probe the cache");
         service.shutdown();
     }
 

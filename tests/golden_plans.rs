@@ -1,0 +1,78 @@
+//! Golden-plan digests: the partitioner's output for every workload at
+//! Tiny scale, fingerprinted with [`dmcp::check::plan_digest`]. Any change
+//! to splitting, scheduling, placement, or tie-breaking shows up here as a
+//! digest mismatch — if the change is intentional, update the table (the
+//! failure message prints the new value).
+//!
+//! The digest covers the semantic content of the plan (steps, nodes,
+//! operands, store targets, waits, seeds) and deliberately ignores
+//! incidental identifiers, so it is stable across pure refactors.
+
+use dmcp::check::plan_digest;
+use dmcp::core::{PartitionConfig, Partitioner};
+use dmcp::mach::MachineConfig;
+use dmcp::workloads::{all, by_name, Scale};
+
+/// Expected digest per workload, produced by `digest_of` below.
+const GOLDEN: &[(&str, u64)] = &[
+    ("Barnes", 0xfcc3d21b971148af),
+    ("Cholesky", 0xec3103d3d6ef6ce8),
+    ("FFT", 0x7ee4c14e0346b142),
+    ("FMM", 0x362451db685f9acb),
+    ("LU", 0x8c969337a80f8708),
+    ("Ocean", 0x99c6b56d39b91391),
+    ("Radiosity", 0x78453244ace62a0d),
+    ("Radix", 0xd33cf59f2860809c),
+    ("Raytrace", 0xbd205ffa11453f34),
+    ("Water", 0x20347db488c4f63d),
+    ("MiniMD", 0xbac0d0dc0eba9c86),
+    ("MiniXyce", 0x6d172a91265be22b),
+];
+
+fn digest_of(name: &str) -> u64 {
+    let w = by_name(name, Scale::Tiny).expect("known workload");
+    let machine = MachineConfig::knl_like();
+    let part = Partitioner::new(&machine, &w.program, PartitionConfig::default());
+    let out = part.partition_with_data(&w.program, &w.data);
+    plan_digest(&out)
+}
+
+#[test]
+fn golden_table_covers_the_whole_suite() {
+    let suite: Vec<String> = all(Scale::Tiny).into_iter().map(|w| w.name.to_string()).collect();
+    assert_eq!(suite.len(), GOLDEN.len(), "suite grew; extend the golden table");
+    for name in &suite {
+        assert!(
+            GOLDEN.iter().any(|(g, _)| g == name),
+            "workload {name} missing from the golden table"
+        );
+    }
+}
+
+#[test]
+fn every_workload_matches_its_golden_digest() {
+    for (name, want) in GOLDEN {
+        let got = digest_of(name);
+        assert_eq!(
+            got, *want,
+            "{name}: plan digest changed (got {got:#018x}, expected {want:#018x}) — \
+             planner behaviour drifted; if intentional, update GOLDEN"
+        );
+    }
+}
+
+#[test]
+fn digests_are_stable_across_repeated_compiles() {
+    for name in ["FFT", "Ocean", "MiniXyce"] {
+        assert_eq!(digest_of(name), digest_of(name), "{name}: non-deterministic plan");
+    }
+}
+
+/// Regenerate the table: `cargo test --test golden_plans -- --ignored --nocapture`.
+#[test]
+#[ignore]
+fn print_golden_digests() {
+    for w in all(Scale::Tiny) {
+        println!("    (\"{}\", {:#018x}),", w.name, digest_of(w.name));
+    }
+}

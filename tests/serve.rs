@@ -2,10 +2,13 @@
 //! address, LRU eviction, single-flight deduplication under real
 //! concurrency, and degraded-mode caching.
 
+use dmcp::check::gencase::gen_mask_case;
 use dmcp::core::PartitionConfig;
+use dmcp::mach::rng::Rng64;
 use dmcp::mach::{FaultPlan, MachineConfig, NodeId};
 use dmcp::serve::{approx_plan_bytes, PlanRequest, PlanService, ServeConfig, ShardedPlanCache};
 use dmcp::workloads::{all, by_name, Scale};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 
@@ -149,6 +152,86 @@ fn degraded_configs_cache_by_fault_fingerprint() {
     assert_eq!(stats.cache.hits, 3);
     assert_ne!(h1, a1, "a dead node changes the plan");
     service.shutdown();
+}
+
+/// The content address keys the program's *structure*, not its spelling:
+/// the same generated case rendered under fresh array and loop-variable
+/// names produces the same `PlanKey` — and the cache serves the renamed
+/// request from the original's compile.
+#[test]
+fn plan_key_is_independent_of_identifier_names() {
+    let service = PlanService::new(ServeConfig::default());
+    for seed in 0..24u64 {
+        let mut rng = Rng64::new(0x5EED_0000 + seed);
+        let spec = gen_mask_case(&mut rng, 192);
+        let canonical = spec.build().expect("canonical build");
+        let (arrays, vars) = spec.default_names();
+        let renamed_arrays: Vec<String> =
+            (0..arrays.len()).map(|k| format!("zeta_{seed}_{k}")).collect();
+        let renamed_vars: Vec<String> = (0..vars.len()).map(|k| format!("idx{k}")).collect();
+        let renamed = spec.build_named(&renamed_arrays, &renamed_vars).expect("renamed build");
+
+        let req_a = PlanRequest::new(canonical.program, canonical.machine, canonical.config)
+            .with_data(canonical.data);
+        let req_b = PlanRequest::new(renamed.program, renamed.machine, renamed.config)
+            .with_data(renamed.data);
+        assert_eq!(req_a.key(), req_b.key(), "seed {seed}: rename changed the key");
+
+        let first = service.plan(req_a).expect("compiles");
+        let hits_before = service.stats().cache.hits;
+        let second = service.plan(req_b).expect("served");
+        assert_eq!(service.stats().cache.hits, hits_before + 1, "renamed request must hit");
+        assert_eq!(first, second, "seed {seed}: cached plan differs under rename");
+    }
+    service.shutdown();
+}
+
+/// Anything that changes what the planner would do — the mesh shape or the
+/// partitioner configuration — must change the key.
+#[test]
+fn plan_key_is_sensitive_to_mesh_and_config() {
+    let mut rng = Rng64::new(0xC0FF_EE00);
+    let spec = gen_mask_case(&mut rng, 192);
+    let base = spec.build().expect("build");
+    let key = PlanRequest::new(base.program.clone(), base.machine.clone(), base.config.clone())
+        .with_data(base.data.clone())
+        .key();
+
+    let mut other_mesh = spec.clone();
+    other_mesh.mesh = if spec.mesh == (4, 4) { (6, 6) } else { (4, 4) };
+    let remeshed = other_mesh.build().expect("build");
+    let mesh_key = PlanRequest::new(remeshed.program, remeshed.machine, remeshed.config.clone())
+        .with_data(remeshed.data)
+        .key();
+    assert_ne!(key, mesh_key, "mesh shape must be part of the fingerprint");
+
+    let mut config = base.config.clone();
+    config.max_window += 1;
+    let config_key = PlanRequest::new(base.program.clone(), base.machine.clone(), config)
+        .with_data(base.data.clone())
+        .key();
+    assert_ne!(key, config_key, "partition config must be part of the fingerprint");
+
+    let data_key = PlanRequest::new(base.program, base.machine, base.config).key();
+    assert_ne!(key, data_key, "dropping the data snapshot must change the fingerprint");
+}
+
+/// Collision smoke: ten thousand programs differing only in one literal
+/// constant produce ten thousand distinct keys.
+#[test]
+fn plan_key_collision_smoke_over_ten_thousand_variants() {
+    let machine = MachineConfig::knl_like();
+    let mut keys = HashSet::new();
+    for k in 0..10_000u64 {
+        let mut b = dmcp::ir::ProgramBuilder::new();
+        b.array("A", &[64], 8);
+        b.array("B", &[64], 8);
+        let stmt = format!("A[i] = (B[i] + {k}) & 63");
+        b.nest(&[("i", 0, 16)], &[&stmt]).expect("parses");
+        let req = PlanRequest::new(b.build(), machine.clone(), PartitionConfig::default());
+        assert!(keys.insert(req.key()), "constant {k} collided with an earlier key");
+    }
+    assert_eq!(keys.len(), 10_000);
 }
 
 /// The whole suite through `serve_batch`, twice: the second batch does no
