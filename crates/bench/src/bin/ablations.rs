@@ -8,6 +8,10 @@
 //!    support vs a stock allocator),
 //! 5. synchronization transitive reduction on vs off (arc counts).
 //!
+//! Each study fans its 12 workloads out over `dmcp-pool` (one task per
+//! application, rows printed in suite order; every task plans
+//! sequentially so thread count never changes a number).
+//!
 //! ```text
 //! cargo run --release -p dmcp-bench --bin ablations [-- --scale-tiny]
 //! ```
@@ -15,48 +19,63 @@
 use dmcp::core::{PartitionConfig, Partitioner, PlanOptions};
 use dmcp::mach::MachineConfig;
 use dmcp::mem::page::PagePolicy;
-use dmcp::sim::scenarios::partition_guided;
+use dmcp::pool::Pool;
 use dmcp::sim::{run_schedules, SimOptions};
 use dmcp::workloads::{all, Scale, Workload};
+use std::time::Instant;
 
 fn main() {
     let scale =
         if std::env::args().any(|a| a == "--scale-tiny") { Scale::Tiny } else { Scale::Small };
-    reuse_ablation(scale);
-    balance_ablation(scale);
-    page_policy_ablation(scale);
-    sync_reduction_stats(scale);
+    let pool = Pool::default();
+    println!("(workload sweeps run on {} pool thread(s))", pool.threads());
+    reuse_ablation(scale, &pool);
+    balance_ablation(scale, &pool);
+    page_policy_ablation(scale, &pool);
+    sync_reduction_stats(scale, &pool);
 }
 
-fn run(w: &Workload, cfg: PartitionConfig) -> (f64, u64) {
+/// `partition_guided` under `cfg`, staged so the planner is timed and
+/// runs sequentially (the suite-level pool provides the parallelism).
+/// Returns `(exec_time, movement, plan_seconds)` of the guarded winner.
+fn run(w: &Workload, cfg: PartitionConfig) -> (f64, u64, f64) {
     let machine = MachineConfig::knl_like();
     let part = Partitioner::new(&machine, &w.program, cfg);
-    let out = partition_guided(&part, &w.program, &w.data, SimOptions::default());
-    let r = run_schedules(&w.program, part.layout(), &out, SimOptions::default());
-    (r.exec_time, r.movement)
+    let sim = SimOptions::default();
+    let t0 = Instant::now();
+    let planned = part.partition_with_data_pooled(&w.program, &w.data, &Pool::single());
+    let plan_seconds = t0.elapsed().as_secs_f64();
+    let base = part.baseline(&w.program, &w.data);
+    let r_planned = run_schedules(&w.program, part.layout(), &planned, sim);
+    let r_base = run_schedules(&w.program, part.layout(), &base, sim);
+    let r = if r_planned.exec_time <= r_base.exec_time { r_planned } else { r_base };
+    (r.exec_time, r.movement, plan_seconds)
 }
 
 /// Reuse-aware vs reuse-agnostic planning (Figure 20's companion text).
-fn reuse_ablation(scale: Scale) {
+fn reuse_ablation(scale: Scale, pool: &Pool) {
     println!("\n== Ablation: reuse-aware vs reuse-agnostic planning ==");
     println!("{:<10} {:>14} {:>14} {:>8}", "app", "aware(move)", "agnostic(move)", "gap");
-    for w in all(scale) {
-        let aware = run(&w, PartitionConfig::default()).1;
+    let rows = pool.map(&all(scale), |_, w| {
+        let aware = run(w, PartitionConfig::default()).1;
         let agnostic = run(
-            &w,
+            w,
             PartitionConfig {
                 opts: PlanOptions { reuse_aware: false, ..PlanOptions::default() },
                 ..PartitionConfig::default()
             },
         )
         .1;
+        (w.name, aware, agnostic)
+    });
+    for (name, aware, agnostic) in rows {
         let gap = if aware == 0 { 0.0 } else { agnostic as f64 / aware as f64 - 1.0 };
-        println!("{:<10} {:>14} {:>14} {:>+7.1}%", w.name, aware, agnostic, 100.0 * gap);
+        println!("{:<10} {:>14} {:>14} {:>+7.1}%", name, aware, agnostic, 100.0 * gap);
     }
 }
 
 /// Load-balance threshold sweep (the paper's configurable 10 %).
-fn balance_ablation(scale: Scale) {
+fn balance_ablation(scale: Scale, pool: &Pool) {
     println!("\n== Ablation: load-balance skip threshold (exec time) ==");
     print!("{:<10}", "app");
     let thresholds = [0.0, 0.05, 0.10, 0.25, 1.0];
@@ -64,17 +83,26 @@ fn balance_ablation(scale: Scale) {
         print!(" {:>9}", format!("{:.0}%", t * 100.0));
     }
     println!();
-    for w in all(scale) {
-        print!("{:<10}", w.name);
-        for t in thresholds {
-            let (time, _) = run(
-                &w,
-                PartitionConfig {
-                    opts: PlanOptions { balance_threshold: t, ..PlanOptions::default() },
-                    ..PartitionConfig::default()
-                },
-            );
-            print!(" {:>9.0}", time);
+    let rows = pool.map(&all(scale), |_, w| {
+        let times: Vec<f64> = thresholds
+            .iter()
+            .map(|&t| {
+                run(
+                    w,
+                    PartitionConfig {
+                        opts: PlanOptions { balance_threshold: t, ..PlanOptions::default() },
+                        ..PartitionConfig::default()
+                    },
+                )
+                .0
+            })
+            .collect();
+        (w.name, times)
+    });
+    for (name, times) in rows {
+        print!("{name:<10}");
+        for time in times {
+            print!(" {time:>9.0}");
         }
         println!();
     }
@@ -82,33 +110,52 @@ fn balance_ablation(scale: Scale) {
 
 /// The paper's colour-preserving OS page allocation vs a stock allocator:
 /// without preserved bits the compiler's location detection degrades.
-fn page_policy_ablation(scale: Scale) {
+fn page_policy_ablation(scale: Scale, pool: &Pool) {
     println!("\n== Ablation: colour-preserving vs scrambled page allocation ==");
     println!("{:<10} {:>16} {:>16}", "app", "preserving(move)", "scrambled(move)");
-    for w in all(scale) {
-        let keep = run(&w, PartitionConfig::default()).1;
+    let rows = pool.map(&all(scale), |_, w| {
+        let keep = run(w, PartitionConfig::default()).1;
         let scram = run(
-            &w,
+            w,
             PartitionConfig { page_policy: PagePolicy::Scramble, ..PartitionConfig::default() },
         )
         .1;
-        println!("{:<10} {:>16} {:>16}", w.name, keep, scram);
+        (w.name, keep, scram)
+    });
+    for (name, keep, scram) in rows {
+        println!("{name:<10} {keep:>16} {scram:>16}");
     }
 }
 
 /// Synchronization arcs before/after transitive reduction (Figure 15's
-/// companion: how much the Midkiff–Padua-style pass removes).
-fn sync_reduction_stats(scale: Scale) {
+/// companion: how much the Midkiff–Padua-style pass removes), plus the
+/// planner wall-time each workload cost.
+fn sync_reduction_stats(scale: Scale, pool: &Pool) {
     println!("\n== Ablation: synchronization transitive reduction ==");
-    println!("{:<10} {:>10} {:>10} {:>9}", "app", "arcs-before", "arcs-after", "removed");
+    println!(
+        "{:<10} {:>10} {:>10} {:>9} {:>9}",
+        "app", "arcs-before", "arcs-after", "removed", "plan-ms"
+    );
     let machine = MachineConfig::knl_like();
-    for w in all(scale) {
+    let rows = pool.map(&all(scale), |_, w| {
         let part = Partitioner::new(&machine, &w.program, PartitionConfig::default());
-        let out = part.partition_with_data(&w.program, &w.data);
+        let t0 = Instant::now();
+        let out = part.partition_with_data_pooled(&w.program, &w.data, &Pool::single());
+        let plan_seconds = t0.elapsed().as_secs_f64();
         let before: u64 = out.nests.iter().map(|n| n.stats.syncs_before).sum();
         let after: u64 = out.nests.iter().map(|n| n.stats.syncs_after).sum();
+        (w.name, before, after, plan_seconds)
+    });
+    for (name, before, after, plan_seconds) in rows {
         let removed =
             if before == 0 { 0.0 } else { 100.0 * (before - after) as f64 / before as f64 };
-        println!("{:<10} {:>10} {:>10} {:>8.1}%", w.name, before, after, removed);
+        println!(
+            "{:<10} {:>10} {:>10} {:>8.1}% {:>9.2}",
+            name,
+            before,
+            after,
+            removed,
+            1e3 * plan_seconds
+        );
     }
 }

@@ -1,0 +1,158 @@
+//! Planner wall-time benchmark and golden-digest gate for CI.
+//!
+//! Plans the full 12-workload suite (healthy *and* canonically degraded)
+//! once per requested thread count, checks every plan digest against the
+//! golden tables in `dmcp::check::golden`, and writes a machine-readable
+//! summary. Exits nonzero if any digest drifted — parallelism must never
+//! change a plan.
+//!
+//! ```text
+//! plan_bench [--threads N]... [--out BENCH_plan.json]
+//! ```
+//!
+//! `--threads` may repeat; the default is `1` plus the machine's
+//! available parallelism. The fan-out is per workload (each task plans
+//! its own workload sequentially), so the speedup column measures the
+//! suite-level pipeline the `figures`/`ablations` binaries use.
+
+use dmcp::check::golden::{degraded_digest, healthy_digest, GOLDEN_DEGRADED, GOLDEN_HEALTHY};
+use dmcp::pool::{default_threads, Pool};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct WorkloadRow {
+    name: &'static str,
+    plan_s: f64,
+    mismatches: Vec<String>,
+}
+
+struct ThreadRun {
+    threads: usize,
+    elapsed_s: f64,
+    rows: Vec<WorkloadRow>,
+}
+
+/// Plans the whole suite on an `n`-thread pool, one task per workload.
+fn sweep(n: usize) -> ThreadRun {
+    let pool = Pool::new(n);
+    let t0 = Instant::now();
+    let rows = pool.map(GOLDEN_HEALTHY, |i, &(name, want_healthy)| {
+        let inner = Pool::single();
+        let w0 = Instant::now();
+        let healthy = healthy_digest(name, &inner);
+        let degraded = degraded_digest(name, &inner);
+        let plan_s = w0.elapsed().as_secs_f64();
+        let (_, want_degraded) = GOLDEN_DEGRADED[i];
+        let mut mismatches = Vec::new();
+        if healthy != want_healthy {
+            mismatches.push(format!(
+                "{name}: healthy digest {healthy:#018x} != golden {want_healthy:#018x}"
+            ));
+        }
+        if degraded != want_degraded {
+            mismatches.push(format!(
+                "{name}: degraded digest {degraded:#018x} != golden {want_degraded:#018x}"
+            ));
+        }
+        WorkloadRow { name, plan_s, mismatches }
+    });
+    ThreadRun { threads: n, elapsed_s: t0.elapsed().as_secs_f64(), rows }
+}
+
+fn render_json(runs: &[ThreadRun], digests_ok: bool) -> String {
+    let baseline = runs.iter().find(|r| r.threads == 1).map(|r| r.elapsed_s);
+    let mut out = String::from("{\n  \"runs\": [\n");
+    for (k, run) in runs.iter().enumerate() {
+        let speedup = match baseline {
+            Some(b) if run.elapsed_s > 0.0 => b / run.elapsed_s,
+            _ => 1.0,
+        };
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"elapsed_s\": {:.4}, \"speedup_vs_1\": {:.2}, \"workloads\": [",
+            run.threads, run.elapsed_s, speedup
+        ));
+        for (j, row) in run.rows.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{{\"name\": \"{}\", \"plan_s\": {:.4}}}", row.name, row.plan_s));
+        }
+        out.push_str("]}");
+        out.push_str(if k + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str(&format!("  ],\n  \"digests_ok\": {digests_ok}\n}}\n"));
+    out
+}
+
+fn main() -> ExitCode {
+    let mut threads: Vec<usize> = Vec::new();
+    let mut out_path = "BENCH_plan.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => threads.push(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}; usage: plan_bench [--threads N]... [--out PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if threads.is_empty() {
+        threads.push(1);
+        if default_threads() > 1 {
+            threads.push(default_threads());
+        }
+    }
+
+    let runs: Vec<ThreadRun> = threads.iter().map(|&n| sweep(n)).collect();
+
+    let mut digests_ok = true;
+    println!("{:<10} {:>10} {:>12}", "threads", "elapsed-s", "speedup-vs-1");
+    let baseline = runs.iter().find(|r| r.threads == 1).map(|r| r.elapsed_s);
+    for run in &runs {
+        let speedup = match baseline {
+            Some(b) if run.elapsed_s > 0.0 => b / run.elapsed_s,
+            _ => 1.0,
+        };
+        println!("{:<10} {:>10.3} {:>11.2}x", run.threads, run.elapsed_s, speedup);
+        for row in &run.rows {
+            for m in &row.mismatches {
+                digests_ok = false;
+                eprintln!("DIGEST DRIFT ({} threads) {m}", run.threads);
+            }
+        }
+    }
+    if let Some(slowest) = runs.first() {
+        println!("\nper-workload planner wall-time ({} thread run):", slowest.threads);
+        for row in &slowest.rows {
+            println!("  {:<10} {:>8.2} ms", row.name, 1e3 * row.plan_s);
+        }
+    }
+
+    let json = render_json(&runs, digests_ok);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{json}");
+
+    if digests_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("golden plan digests changed — see DIGEST DRIFT lines above");
+        ExitCode::FAILURE
+    }
+}

@@ -8,9 +8,11 @@ use dmcp::baselines::{locality_assignment, preferred_mc_overrides};
 use dmcp::core::{OpMix, PartitionConfig, PartitionOutput, Partitioner, PlanOptions};
 use dmcp::mach::{ClusterMode, MachineConfig};
 use dmcp::mem::MemoryMode;
+use dmcp::pool::Pool;
 use dmcp::sim::scenarios::partition_guided;
 use dmcp::sim::{run_program, run_schedules, Scenario, SimOptions, SimReport};
 use dmcp::workloads::{all, PaperRow, Scale, Workload};
+use std::time::Instant;
 
 /// Everything measured for one application under the standard configuration
 /// (quadrant cluster mode, flat memory, profiled default placement).
@@ -30,6 +32,9 @@ pub struct AppEval {
     pub r_base: SimReport,
     /// Simulated optimized run (instance tracking on).
     pub r_opt: SimReport,
+    /// Wall-time of the planner itself (the staged partitioning
+    /// pipeline), excluding simulation.
+    pub plan_seconds: f64,
 }
 
 impl AppEval {
@@ -52,13 +57,23 @@ pub fn standard_config(w: &Workload, machine: &MachineConfig) -> PartitionConfig
     PartitionConfig { assignment: Some(assignment), ..PartitionConfig::default() }
 }
 
-/// Evaluates one workload under the standard configuration.
-pub fn evaluate(w: &Workload, machine: &MachineConfig) -> AppEval {
+/// Evaluates one workload under the standard configuration, planning
+/// over `pool`.
+pub fn evaluate_pooled(w: &Workload, machine: &MachineConfig, pool: &Pool) -> AppEval {
     let cfg = standard_config(w, machine);
     let partitioner = Partitioner::new(machine, &w.program, cfg.clone());
     let sim = SimOptions { track_instances: true, ..SimOptions::default() };
-    let opt = partition_guided(&partitioner, &w.program, &w.data, sim);
+
+    // `partition_guided`, staged so the planner itself can be timed in
+    // isolation from the guard simulations.
+    let t0 = Instant::now();
+    let planned = partitioner.partition_with_data_pooled(&w.program, &w.data, pool);
+    let plan_seconds = t0.elapsed().as_secs_f64();
     let base = partitioner.baseline(&w.program, &w.data);
+    let quiet = SimOptions { track_instances: false, ..sim };
+    let keep = run_schedules(&w.program, partitioner.layout(), &planned, quiet).exec_time
+        <= run_schedules(&w.program, partitioner.layout(), &base, quiet).exec_time;
+    let opt = if keep { planned } else { partitioner.baseline(&w.program, &w.data) };
     let r_opt = run_schedules(&w.program, partitioner.layout(), &opt, sim);
     let r_base = run_schedules(&w.program, partitioner.layout(), &base, sim);
 
@@ -70,7 +85,7 @@ pub fn evaluate(w: &Workload, machine: &MachineConfig) -> AppEval {
         ..cfg
     };
     let forced = Partitioner::new(machine, &w.program, force_cfg);
-    let remapped = forced.partition_with_data(&w.program, &w.data).remapped();
+    let remapped = forced.partition_with_data_pooled(&w.program, &w.data, pool).remapped();
 
     AppEval {
         name: w.name,
@@ -80,13 +95,27 @@ pub fn evaluate(w: &Workload, machine: &MachineConfig) -> AppEval {
         remapped,
         r_base,
         r_opt,
+        plan_seconds,
     }
 }
 
-/// Evaluates the full suite.
-pub fn evaluate_suite(scale: Scale) -> Vec<AppEval> {
+/// Evaluates one workload under the standard configuration.
+pub fn evaluate(w: &Workload, machine: &MachineConfig) -> AppEval {
+    evaluate_pooled(w, machine, Pool::global())
+}
+
+/// Evaluates the full suite over `pool` at *workload* grain — one task
+/// per application, results in suite order (each task plans its own
+/// workload sequentially, so thread count never changes any output).
+pub fn evaluate_suite_pooled(scale: Scale, pool: &Pool) -> Vec<AppEval> {
     let machine = MachineConfig::knl_like();
-    all(scale).iter().map(|w| evaluate(w, &machine)).collect()
+    let suite = all(scale);
+    pool.map(&suite, |_, w| evaluate_pooled(w, &machine, &Pool::single()))
+}
+
+/// Evaluates the full suite on the process-wide pool.
+pub fn evaluate_suite(scale: Scale) -> Vec<AppEval> {
+    evaluate_suite_pooled(scale, Pool::global())
 }
 
 /// Execution time of one (cluster, memory, optimized?) configuration,

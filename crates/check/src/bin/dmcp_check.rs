@@ -2,24 +2,27 @@
 //!
 //! ```text
 //! dmcp-check [--seeds N] [--seed0 S] [--budget N] [--orders N]
-//!            [--serve-every N] [--out PATH]
+//!            [--serve-every N] [--threads N] [--out PATH]
 //! ```
 //!
 //! Exits nonzero if any property produced a counterexample. Writes a
 //! machine-readable summary (seeds/sec, property-run count,
 //! counterexample count) to `--out` (default `BENCH_check.json`).
 
-use dmcp_check::harness::{run, CheckConfig, CheckReport};
+use dmcp_check::harness::{run_pooled, CheckConfig, CheckReport};
+use dmcp_pool::Pool;
 use std::process::ExitCode;
 use std::time::Instant;
 
 struct Args {
     cfg: CheckConfig,
+    threads: Option<usize>,
     out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { cfg: CheckConfig::default(), out: "BENCH_check.json".to_string() };
+    let mut args =
+        Args { cfg: CheckConfig::default(), threads: None, out: "BENCH_check.json".to_string() };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
@@ -40,10 +43,13 @@ fn parse_args() -> Result<Args, String> {
                 args.cfg.serve_every =
                     value("--serve-every")?.parse().map_err(|e| format!("{e}"))?;
             }
+            "--threads" => {
+                args.threads = Some(value("--threads")?.parse().map_err(|e| format!("{e}"))?);
+            }
             "--out" => args.out = value("--out")?,
             "--help" | "-h" => {
                 return Err("usage: dmcp-check [--seeds N] [--seed0 S] [--budget N] \
-                     [--orders N] [--serve-every N] [--out PATH]"
+                     [--orders N] [--serve-every N] [--threads N] [--out PATH]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -79,8 +85,12 @@ fn main() -> ExitCode {
     // with full context below).
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
+    let pool = match args.threads {
+        Some(n) => Pool::new(n),
+        None => Pool::default(),
+    };
     let start = Instant::now();
-    let report = run(&args.cfg);
+    let report = run_pooled(&args.cfg, &pool);
     let elapsed_s = start.elapsed().as_secs_f64();
     std::panic::set_hook(default_hook);
 

@@ -1,0 +1,192 @@
+//! Golden pins for the 12-workload suite: plan digests (healthy and
+//! canonically degraded) and [`PlanKey`] digests, all at Tiny scale on
+//! the KNL-like machine with the default configuration.
+//!
+//! These tables pin the planner's output bit-for-bit across refactors.
+//! Any change to splitting, placement, window choice, sync reduction or
+//! key derivation shows up as a mismatch; if the change is intentional,
+//! regenerate with the `print_golden_tables` test in this module (or
+//! `cargo test --test golden_plans -- --ignored --nocapture`).
+//!
+//! Both the workspace-level `golden_plans` test and the `plan-bench` CI
+//! gate consume these tables, so a digest drift fails both.
+
+use crate::digest::plan_digest;
+use dmcp_core::{PartitionConfig, PartitionOutput, Partitioner};
+use dmcp_mach::{FaultPlan, FaultState, MachineConfig, NodeId};
+use dmcp_pool::Pool;
+use dmcp_serve::PlanRequest;
+use dmcp_workloads::{by_name, Scale, Workload};
+
+/// Expected healthy plan digest per workload.
+pub const GOLDEN_HEALTHY: &[(&str, u64)] = &[
+    ("Barnes", 0xfcc3d21b971148af),
+    ("Cholesky", 0xec3103d3d6ef6ce8),
+    ("FFT", 0x7ee4c14e0346b142),
+    ("FMM", 0x362451db685f9acb),
+    ("LU", 0x8c969337a80f8708),
+    ("Ocean", 0x99c6b56d39b91391),
+    ("Radiosity", 0x78453244ace62a0d),
+    ("Radix", 0xd33cf59f2860809c),
+    ("Raytrace", 0xbd205ffa11453f34),
+    ("Water", 0x20347db488c4f63d),
+    ("MiniMD", 0xbac0d0dc0eba9c86),
+    ("MiniXyce", 0x6d172a91265be22b),
+];
+
+/// Expected plan digest per workload under [`canonical_faults`].
+pub const GOLDEN_DEGRADED: &[(&str, u64)] = &[
+    ("Barnes", 0x072fd0f743e89848),
+    ("Cholesky", 0x0101bc93e6ec1b7c),
+    ("FFT", 0xb291f80b72c5ef84),
+    ("FMM", 0x07b2bbf63353b60a),
+    ("LU", 0x630a5d361abc0812),
+    ("Ocean", 0xbc3250cd7188f521),
+    ("Radiosity", 0xb7f2b6d2554344c3),
+    ("Radix", 0x1bf4cca79b496c01),
+    ("Raytrace", 0xba09a3830ee0609a),
+    ("Water", 0x2e03da78b70547ee),
+    ("MiniMD", 0x134b5952b3ddfef7),
+    ("MiniXyce", 0x6bb6b16657896878),
+];
+
+/// Expected `(healthy, degraded)` [`PlanKey`] digests per workload —
+/// pins the cache-key derivation (structural program hash, machine and
+/// config fingerprints, fault fingerprint) alongside the plans.
+///
+/// [`PlanKey`]: dmcp_serve::PlanKey
+pub const GOLDEN_KEYS: &[(&str, u64, u64)] = &[
+    ("Barnes", 0x2b284ccd847a83af, 0x92c3b0c339d98265),
+    ("Cholesky", 0x8116946ee5c3848a, 0x85a40576b075a245),
+    ("FFT", 0x8cb258078c94d2ef, 0x5c078f122e2cef2b),
+    ("FMM", 0xf5baaebc69fb6a20, 0x11225063e25f13a4),
+    ("LU", 0x8edad6e52aad7745, 0xb1b37ab169ee9ea0),
+    ("Ocean", 0xf44be029bda2089b, 0xe5f796eaf76032b7),
+    ("Radiosity", 0x50e7a33edfbd4f30, 0x2b858ad801dc5df0),
+    ("Radix", 0x6df40a527a0d6fb2, 0x6fd475bd816e101e),
+    ("Raytrace", 0x97cb65d36e11bbe3, 0xd01c53005632e1e6),
+    ("Water", 0x2418b2785eef2cbd, 0x84e6c175ce1602af),
+    ("MiniMD", 0xce20d781cbc013eb, 0x26b902730ace6184),
+    ("MiniXyce", 0xa0cb8418498dd25a, 0xeda354f8ba6f77e5),
+];
+
+/// The canonical degradation every degraded golden is pinned under: one
+/// dead node away from the origin plus one dead link on the far side of
+/// the KNL-like mesh — enough to re-home banks, shrink the live set and
+/// reroute, while keeping every workload plannable.
+#[must_use]
+pub fn canonical_faults() -> FaultPlan {
+    let mut plan = FaultPlan::healthy();
+    plan.kill_node(NodeId::new(1, 1)).kill_link(NodeId::new(4, 2), NodeId::new(4, 3));
+    plan
+}
+
+fn workload(name: &str) -> Workload {
+    by_name(name, Scale::Tiny).unwrap_or_else(|| panic!("unknown workload {name}"))
+}
+
+/// Compiles `name` on a healthy machine over `pool`.
+#[must_use]
+pub fn healthy_output(name: &str, pool: &Pool) -> PartitionOutput {
+    let w = workload(name);
+    let machine = MachineConfig::knl_like();
+    let part = Partitioner::new(&machine, &w.program, PartitionConfig::default());
+    part.partition_with_data_pooled(&w.program, &w.data, pool)
+}
+
+/// Compiles `name` under [`canonical_faults`] over `pool`.
+///
+/// # Panics
+///
+/// Panics if the canonical fault plan is rejected (it never is on the
+/// KNL-like mesh).
+#[must_use]
+pub fn degraded_output(name: &str, pool: &Pool) -> PartitionOutput {
+    let w = workload(name);
+    let machine = MachineConfig::knl_like();
+    let faults = FaultState::new(canonical_faults(), machine.mesh)
+        .expect("canonical faults fit the KNL-like mesh");
+    let part = Partitioner::new_degraded(&machine, &w.program, PartitionConfig::default(), &faults)
+        .expect("default config is valid");
+    part.partition_with_data_pooled(&w.program, &w.data, pool)
+}
+
+/// The healthy plan digest of `name`, compiled over `pool`.
+#[must_use]
+pub fn healthy_digest(name: &str, pool: &Pool) -> u64 {
+    plan_digest(&healthy_output(name, pool))
+}
+
+/// The degraded plan digest of `name`, compiled over `pool`.
+#[must_use]
+pub fn degraded_digest(name: &str, pool: &Pool) -> u64 {
+    plan_digest(&degraded_output(name, pool))
+}
+
+/// The `(healthy, degraded)` [`dmcp_serve::PlanKey`] digests of `name`.
+#[must_use]
+pub fn key_digests(name: &str) -> (u64, u64) {
+    let w = workload(name);
+    let machine = MachineConfig::knl_like();
+    let healthy = PlanRequest::new(w.program.clone(), machine.clone(), PartitionConfig::default())
+        .with_data(w.data.clone());
+    let degraded = PlanRequest::new(w.program, machine, PartitionConfig::default())
+        .with_data(w.data)
+        .with_faults(canonical_faults());
+    (healthy.key().digest(), degraded.key().digest())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcp_workloads::all;
+
+    #[test]
+    fn tables_cover_the_whole_suite_consistently() {
+        let suite: Vec<&str> = all(Scale::Tiny).iter().map(|w| w.name).collect();
+        assert_eq!(suite.len(), GOLDEN_HEALTHY.len());
+        for name in &suite {
+            assert!(GOLDEN_HEALTHY.iter().any(|(n, _)| n == name), "{name} missing (healthy)");
+            assert!(GOLDEN_DEGRADED.iter().any(|(n, _)| n == name), "{name} missing (degraded)");
+            assert!(GOLDEN_KEYS.iter().any(|(n, _, _)| n == name), "{name} missing (keys)");
+        }
+    }
+
+    #[test]
+    fn canonical_faults_are_nontrivial_and_usable() {
+        let machine = MachineConfig::knl_like();
+        let faults = FaultState::new(canonical_faults(), machine.mesh).unwrap();
+        assert!(!faults.is_trivial());
+        assert!(faults.live_nodes().len() < machine.mesh.node_count() as usize);
+    }
+
+    #[test]
+    fn key_digests_separate_healthy_from_degraded() {
+        let (healthy, degraded) = key_digests("FFT");
+        assert_ne!(healthy, degraded, "fault fingerprint must participate in the key");
+    }
+
+    /// Regenerate every table:
+    /// `cargo test -p dmcp-check golden -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn print_golden_tables() {
+        let pool = Pool::single();
+        println!("pub const GOLDEN_HEALTHY: &[(&str, u64)] = &[");
+        for w in all(Scale::Tiny) {
+            println!("    (\"{}\", {:#018x}),", w.name, healthy_digest(w.name, &pool));
+        }
+        println!("];");
+        println!("pub const GOLDEN_DEGRADED: &[(&str, u64)] = &[");
+        for w in all(Scale::Tiny) {
+            println!("    (\"{}\", {:#018x}),", w.name, degraded_digest(w.name, &pool));
+        }
+        println!("];");
+        println!("pub const GOLDEN_KEYS: &[(&str, u64, u64)] = &[");
+        for w in all(Scale::Tiny) {
+            let (h, d) = key_digests(w.name);
+            println!("    (\"{}\", {h:#018x}, {d:#018x}),", w.name);
+        }
+        println!("];");
+    }
+}

@@ -12,6 +12,7 @@ use crate::meta::{check_fault_monotonicity, check_isometry, check_lexer_total, c
 use crate::oracle::check_oracle_case;
 use dmcp_ir::exec::run_sequential;
 use dmcp_mach::rng::{mix, Rng64};
+use dmcp_pool::Pool;
 use dmcp_serve::{PlanRequest, PlanService, ServeConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -47,7 +48,7 @@ impl Default for CheckConfig {
 }
 
 /// One property violation, with the shrunken case when one exists.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Counterexample {
     /// Which property failed.
     pub property: &'static str,
@@ -60,7 +61,7 @@ pub struct Counterexample {
 }
 
 /// The sweep's outcome.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CheckReport {
     /// Seeds swept.
     pub seeds: u64,
@@ -199,73 +200,82 @@ fn check_spec_serve(spec: &CaseSpec) -> Result<(), String> {
     Ok(())
 }
 
-/// Sweeps every property over `cfg.seeds` seeds and reports.
+/// Sweeps every property over `cfg.seeds` seeds and reports, fanning the
+/// seeds out over the process-global pool ([`Pool::global`]).
 pub fn run(cfg: &CheckConfig) -> CheckReport {
+    run_pooled(cfg, Pool::global())
+}
+
+/// [`run`] over an explicit pool. Every (seed, property) stream derives
+/// from the seed value alone, and per-seed partial reports are merged in
+/// seed order, so the report is bit-identical for every thread count.
+pub fn run_pooled(cfg: &CheckConfig, pool: &Pool) -> CheckReport {
+    let seeds = usize::try_from(cfg.seeds).expect("seed count fits usize");
+    let partials = pool.run(seeds, |i| sweep_seed(cfg, i as u64));
     let mut report = CheckReport { seeds: cfg.seeds, ..CheckReport::default() };
-    for seed in 0..cfg.seeds {
-        free_property(&mut report, cfg, seed, 0x0A, "oracle", |rng| {
-            check_oracle_case(rng).map(|_| ())
-        });
-        let (budget, orders) = (cfg.budget, cfg.orders);
-        case_property(
-            &mut report,
-            cfg,
-            seed,
-            0x0B,
-            "conform-mask",
-            |rng| gen_mask_case(rng, budget),
-            |s, rng| check_spec_healthy(s, rng, orders, 0.0),
-        );
-        case_property(
-            &mut report,
-            cfg,
-            seed,
-            0x0C,
-            "conform-degraded",
-            |rng| gen_mask_case(rng, budget),
-            |s, _| check_spec_degraded(s, 0.0),
-        );
-        case_property(&mut report, cfg, seed, 0x0D, "conform-div", gen_div_case, |s, rng| {
-            check_spec_healthy(s, rng, orders, 1e-9)
-        });
-        case_property(
-            &mut report,
-            cfg,
-            seed,
-            0x0E,
-            "meta-rename",
-            |rng| gen_mask_case(rng, budget.min(160)),
-            |s, _| check_rename(s),
-        );
-        free_property(&mut report, cfg, seed, 0x0F, "meta-isometry", check_isometry);
-        free_property(
-            &mut report,
-            cfg,
-            seed,
-            0x10,
-            "meta-fault-monotonic",
-            check_fault_monotonicity,
-        );
-        free_property(&mut report, cfg, seed, 0x11, "lexer-total", |rng| {
-            for _ in 0..8 {
-                check_lexer_total(rng);
-            }
-            Ok(())
-        });
-        case_property(&mut report, cfg, seed, 0x12, "wild-shape", gen_wild_spec, |s, _| {
-            check_spec_wild(s)
-        });
-        if cfg.serve_every > 0 && seed % cfg.serve_every == 0 {
-            case_property(
-                &mut report,
-                cfg,
-                seed,
-                0x13,
-                "serve-conform",
-                |rng| gen_mask_case(rng, budget.min(128)),
-                |s, _| check_spec_serve(s),
-            );
+    for partial in partials {
+        report.runs += partial.runs;
+        report.counterexamples.extend(partial.counterexamples);
+    }
+    report
+}
+
+/// Runs every property for one seed, returning the seed's partial report.
+fn sweep_seed(cfg: &CheckConfig, seed: u64) -> CheckReport {
+    let mut report = CheckReport::default();
+    free_property(&mut report, cfg, seed, 0x0A, "oracle", |rng| check_oracle_case(rng).map(|_| ()));
+    let (budget, orders) = (cfg.budget, cfg.orders);
+    case_property(
+        &mut report,
+        cfg,
+        seed,
+        0x0B,
+        "conform-mask",
+        |rng| gen_mask_case(rng, budget),
+        |s, rng| check_spec_healthy(s, rng, orders, 0.0),
+    );
+    case_property(
+        &mut report,
+        cfg,
+        seed,
+        0x0C,
+        "conform-degraded",
+        |rng| gen_mask_case(rng, budget),
+        |s, _| check_spec_degraded(s, 0.0),
+    );
+    case_property(&mut report, cfg, seed, 0x0D, "conform-div", gen_div_case, |s, rng| {
+        check_spec_healthy(s, rng, orders, 1e-9)
+    });
+    case_property(
+        &mut report,
+        cfg,
+        seed,
+        0x0E,
+        "meta-rename",
+        |rng| gen_mask_case(rng, budget.min(160)),
+        |s, _| check_rename(s),
+    );
+    free_property(&mut report, cfg, seed, 0x0F, "meta-isometry", check_isometry);
+    free_property(&mut report, cfg, seed, 0x10, "meta-fault-monotonic", check_fault_monotonicity);
+    free_property(&mut report, cfg, seed, 0x11, "lexer-total", |rng| {
+        for _ in 0..8 {
+            check_lexer_total(rng);
         }
+        Ok(())
+    });
+    case_property(&mut report, cfg, seed, 0x12, "wild-shape", gen_wild_spec, |s, _| {
+        check_spec_wild(s)
+    });
+    if cfg.serve_every > 0 && seed.is_multiple_of(cfg.serve_every) {
+        case_property(
+            &mut report,
+            cfg,
+            seed,
+            0x13,
+            "serve-conform",
+            |rng| gen_mask_case(rng, budget.min(128)),
+            |s, _| check_spec_serve(s),
+        );
     }
     report
 }
@@ -284,6 +294,14 @@ mod tests {
         );
         assert_eq!(report.seeds, 4);
         assert!(report.runs >= 4 * 9);
+    }
+
+    #[test]
+    fn pooled_sweep_is_bit_identical_to_sequential() {
+        let cfg = CheckConfig { seeds: 3, serve_every: 0, ..CheckConfig::default() };
+        let seq = run_pooled(&cfg, &Pool::single());
+        let par = run_pooled(&cfg, &Pool::new(4));
+        assert_eq!(seq, par, "per-seed streams must not depend on thread count");
     }
 
     #[test]

@@ -42,10 +42,11 @@
 pub mod conform;
 pub mod digest;
 pub mod gencase;
+pub mod golden;
 pub mod harness;
 pub mod meta;
 pub mod oracle;
 
 pub use digest::plan_digest;
 pub use gencase::{BuiltCase, CaseSpec};
-pub use harness::{run, CheckConfig, CheckReport, Counterexample};
+pub use harness::{run, run_pooled, CheckConfig, CheckReport, Counterexample};

@@ -37,7 +37,7 @@ pub fn explain_instance(
                     Operand::Const(v) => format!("{v}"),
                     Operand::Temp(t) => format!("t{}", t.0),
                     Operand::Elem(e) => {
-                        format!("{}[{}]@{}", program.array(e.array).name, e.elem, e.believed)
+                        format!("{}[{}]@{}", program.array_name(e.array), e.elem, e.believed)
                     }
                 };
                 format!("{} {}", i.op, src)
@@ -45,7 +45,7 @@ pub fn explain_instance(
             .collect();
         let store = match &s.store {
             Some(st) => {
-                format!(" => {}[{}] home {}", program.array(st.array).name, st.elem, st.home)
+                format!(" => {}[{}] home {}", program.array_name(st.array), st.elem, st.home)
             }
             None => format!(" => t{}", s.id.0),
         };

@@ -47,6 +47,7 @@ pub mod l1model;
 pub mod layout;
 pub mod mst;
 pub mod partitioner;
+pub mod pipeline;
 pub mod split;
 pub mod stats;
 pub mod step;
@@ -60,7 +61,8 @@ pub use partitioner::{
     chunked_assignment, chunked_assignment_over, NestPartition, PartitionConfig, PartitionOutput,
     Partitioner,
 };
+pub use pipeline::{passes, NestCtx, Pass, PlanCtx};
 pub use split::{HitPredictor, PlanOptions, Planner};
 pub use stats::{OpMix, StmtRecord};
 pub use step::{ElemLoc, Operand, Schedule, Step, StepInput, StmtTag, StoreTarget, SubId};
-pub use window::NestStats;
+pub use window::{place_nest, plan_nest, sync_nest, NestPlan, NestStats};

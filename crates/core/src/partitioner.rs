@@ -8,13 +8,15 @@
 
 use crate::error::PartitionError;
 use crate::layout::Layout;
+use crate::pipeline::{passes, PlanCtx};
 use crate::split::{HitPredictor, PlanOptions};
 use crate::step::Schedule;
-use crate::window::{plan_nest, NestPlan, NestStats};
+use crate::window::NestStats;
 use dmcp_ir::program::{DataStore, Program};
 use dmcp_mach::{FaultState, MachineConfig, Mesh, NodeId};
 use dmcp_mem::page::PagePolicy;
 use dmcp_mem::{Cache, MissPredictor};
+use dmcp_pool::Pool;
 
 /// How to construct the L2 hit predictor for each planning run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -163,9 +165,20 @@ pub struct NestPartition {
 pub struct PartitionOutput {
     /// One partition per nest, in program order.
     pub nests: Vec<NestPartition>,
+    /// Chosen window size per nest, cached at construction so hot paths
+    /// (the serving layer's window memo, recompiles) borrow a slice
+    /// instead of re-collecting.
+    windows: Vec<usize>,
 }
 
 impl PartitionOutput {
+    /// Wraps per-nest partitions, caching the per-nest window sizes.
+    #[must_use]
+    pub fn new(nests: Vec<NestPartition>) -> Self {
+        let windows = nests.iter().map(|n| n.stats.window_size).collect();
+        Self { nests, windows }
+    }
+
     /// Total planned movement of the optimized schedules.
     pub fn movement_opt(&self) -> u64 {
         self.nests.iter().map(|n| n.stats.movement_opt).sum()
@@ -238,9 +251,10 @@ impl PartitionOutput {
         mix
     }
 
-    /// Chosen window size per nest.
-    pub fn window_sizes(&self) -> Vec<usize> {
-        self.nests.iter().map(|n| n.stats.window_size).collect()
+    /// Chosen window size per nest (cached at construction — no
+    /// allocation).
+    pub fn window_sizes(&self) -> &[usize] {
+        &self.windows
     }
 }
 
@@ -314,6 +328,25 @@ impl Partitioner {
         &self.config
     }
 
+    /// Runs the staged planning pipeline ([`crate::pipeline`]) over the
+    /// program: analyze → window search → place → split decision → sync,
+    /// fanning the parallel dimensions out over `pool`. Output is
+    /// bit-identical for every thread count.
+    pub fn run_pipeline(
+        &self,
+        program: &Program,
+        data: &DataStore,
+        pool: &Pool,
+        force_default: bool,
+        window_hints: &[usize],
+    ) -> PartitionOutput {
+        let mut ctx = PlanCtx::new(self, program, data, pool, force_default, window_hints);
+        for pass in passes() {
+            pass.run(&mut ctx);
+        }
+        ctx.into_output()
+    }
+
     /// Partitions every nest of the program using its deterministic initial
     /// data for indirection resolution.
     pub fn partition(&self, program: &Program) -> PartitionOutput {
@@ -321,13 +354,30 @@ impl Partitioner {
         self.partition_with_data(program, &data)
     }
 
+    /// [`Partitioner::partition`] over an explicit pool.
+    pub fn partition_pooled(&self, program: &Program, pool: &Pool) -> PartitionOutput {
+        let data = program.initial_data();
+        self.partition_with_data_pooled(program, &data, pool)
+    }
+
     /// Partitions every nest, resolving indirect references through `data`
-    /// (the inspector-collected information).
+    /// (the inspector-collected information). Fans out over the process
+    /// global pool ([`Pool::global`]).
     pub fn partition_with_data(&self, program: &Program, data: &DataStore) -> PartitionOutput {
-        let nests = (0..program.nests().len())
-            .map(|n| self.partition_nest(program, n, data, false, None))
-            .collect();
-        PartitionOutput { nests }
+        self.partition_with_data_pooled(program, data, Pool::global())
+    }
+
+    /// [`Partitioner::partition_with_data`] over an explicit pool —
+    /// callers already fanning out at a coarser grain (per-workload
+    /// sweeps, service workers) pass [`Pool::single`] to keep the thread
+    /// budget where they spent it.
+    pub fn partition_with_data_pooled(
+        &self,
+        program: &Program,
+        data: &DataStore,
+        pool: &Pool,
+    ) -> PartitionOutput {
+        self.run_pipeline(program, data, pool, false, &[])
     }
 
     /// [`Partitioner::partition_with_data`] reusing previously chosen
@@ -348,20 +398,14 @@ impl Partitioner {
         data: &DataStore,
         windows: &[usize],
     ) -> PartitionOutput {
-        let nests = (0..program.nests().len())
-            .map(|n| self.partition_nest(program, n, data, false, windows.get(n).copied()))
-            .collect();
-        PartitionOutput { nests }
+        self.run_pipeline(program, data, Pool::global(), false, windows)
     }
 
     /// Generates the *default* (iteration-granularity) schedule for every
     /// nest: one sequence of steps per statement instance, all on the
     /// iteration's assigned core.
     pub fn baseline(&self, program: &Program, data: &DataStore) -> PartitionOutput {
-        let nests = (0..program.nests().len())
-            .map(|n| self.partition_nest(program, n, data, true, None))
-            .collect();
-        PartitionOutput { nests }
+        self.run_pipeline(program, data, Pool::global(), true, &[])
     }
 
     /// [`Partitioner::partition`] with validation instead of trust: checks
@@ -414,105 +458,6 @@ impl Partitioner {
             }
         }
         Ok(())
-    }
-
-    fn partition_nest(
-        &self,
-        program: &Program,
-        nest_index: usize,
-        data: &DataStore,
-        force_default: bool,
-        window_hint: Option<usize>,
-    ) -> NestPartition {
-        let nest = &program.nests()[nest_index];
-        let iters = nest.iteration_count();
-        let assignment = match &self.config.assignment {
-            Some(a) => a.clone(),
-            None => match self.layout.live_nodes() {
-                None => chunked_assignment(self.machine.mesh, iters),
-                Some(live) => chunked_assignment_over(live, iters),
-            },
-        };
-        let window = if force_default {
-            1
-        } else {
-            match (self.config.fixed_window, window_hint) {
-                (Some(w), _) => w,
-                (None, Some(w)) => w,
-                (None, None) => self.search_window(program, nest_index, data, &assignment),
-            }
-        };
-        let NestPlan { schedule, stats } = plan_nest(
-            program,
-            nest_index,
-            &self.layout,
-            data,
-            self.config.predictor.build(&self.machine),
-            self.config.opts,
-            window,
-            &assignment,
-            None,
-            force_default,
-        );
-        // Nest-level split-vs-default decision: splitting a nest is only
-        // worthwhile when its planned movement clearly beats default
-        // execution (mixed placements destroy each other's L1 locality, so
-        // the choice is made for the whole nest). Judged on the warm half
-        // of the records — the cold-start sweep (all predicted misses) is
-        // unrepresentative of steady state.
-        let (warm_opt, warm_def) = stats.warm_movement();
-        if !force_default && warm_opt as f64 > self.config.opts.split_threshold * warm_def as f64 {
-            let NestPlan { schedule, stats: mut dstats } = plan_nest(
-                program,
-                nest_index,
-                &self.layout,
-                data,
-                self.config.predictor.build(&self.machine),
-                self.config.opts,
-                window,
-                &assignment,
-                None,
-                true,
-            );
-            dstats.window_size = window;
-            return NestPartition { nest: nest_index, schedule, stats: dstats };
-        }
-        NestPartition { nest: nest_index, schedule, stats }
-    }
-
-    /// The pre-processing step: plans a sample with every window size and
-    /// returns the one minimising total data movement (ties prefer the
-    /// smaller window, which compiles faster and pollutes less).
-    fn search_window(
-        &self,
-        program: &Program,
-        nest_index: usize,
-        data: &DataStore,
-        assignment: &[NodeId],
-    ) -> usize {
-        let mut best = (u64::MAX, 1usize);
-        for w in 1..=self.config.max_window.max(1) {
-            let trial = plan_nest(
-                program,
-                nest_index,
-                &self.layout,
-                data,
-                self.config.predictor.build(&self.machine),
-                self.config.opts,
-                w,
-                assignment,
-                Some(self.config.search_sample),
-                false,
-            );
-            // Measure on the warm half of the sample only: the cold-start
-            // sweep (everything predicted to miss) is unrepresentative of
-            // the steady state the chosen window will mostly run in.
-            let (movement, _) = trial.stats.warm_movement();
-            if movement < best.0 {
-                best = (movement, w);
-            }
-        }
-        best.1
     }
 }
 
@@ -765,7 +710,7 @@ mod tests {
         let part = Partitioner::new(&machine, &p, PartitionConfig::default());
         let data = p.initial_data();
         let searched = part.partition_with_data(&p, &data);
-        let reused = part.partition_with_data_reusing(&p, &data, &searched.window_sizes());
+        let reused = part.partition_with_data_reusing(&p, &data, searched.window_sizes());
         assert_eq!(searched, reused);
     }
 

@@ -126,8 +126,52 @@ pub struct NestPlan {
 /// `assignment[it % assignment.len()]` is the default core of iteration
 /// `it`; `limit_instances` truncates planning (used by the window-size
 /// search); `force_default` generates the baseline schedule instead.
+///
+/// Equivalent to [`place_nest`] followed by [`sync_nest`] — the staged
+/// pipeline runs the two passes separately so placement can fan out
+/// across a pool while sync wiring replays sequentially per nest.
 #[allow(clippy::too_many_arguments)]
 pub fn plan_nest(
+    program: &Program,
+    nest_index: usize,
+    layout: &Layout,
+    data: &DataStore,
+    predictor: HitPredictor,
+    opts: PlanOptions,
+    window: usize,
+    assignment: &[NodeId],
+    limit_instances: Option<u64>,
+    force_default: bool,
+) -> NestPlan {
+    let mut plan = place_nest(
+        program,
+        nest_index,
+        layout,
+        data,
+        predictor,
+        opts,
+        window,
+        assignment,
+        limit_instances,
+        force_default,
+    );
+    sync_nest(&mut plan);
+    plan
+}
+
+/// The *placement* half of nest planning: streams statement instances in
+/// execution order, plans each one's subcomputations (MST placement, L1
+/// reuse within the window, load balancing), and resets the
+/// `variable2node` map at window boundaries. No synchronization arcs are
+/// wired — every step's `waits` list comes back empty and the sync
+/// counters are zero until [`sync_nest`] runs.
+///
+/// Placement never reads wait arcs, so splitting the two phases is
+/// bit-identical to the fused loop; it also lets the window-size search
+/// skip sync wiring entirely (its decision metric, warm movement, is a
+/// pure function of the placement records).
+#[allow(clippy::too_many_arguments)]
+pub fn place_nest(
     program: &Program,
     nest_index: usize,
     layout: &Layout,
@@ -147,11 +191,7 @@ pub fn plan_nest(
 
     let mut steps: Vec<Step> = Vec::new();
     let mut records: Vec<StmtRecord> = Vec::new();
-    let mut deps = DepTracker::default();
-    let mut syncs_before = 0u64;
-    let mut syncs_after = 0u64;
 
-    let mut window_first_step = 0usize;
     let mut in_window = 0usize;
     let mut instance: u64 = 0;
     let limit = limit_instances.unwrap_or(u64::MAX);
@@ -164,33 +204,18 @@ pub fn plan_nest(
             }
             let tag = StmtTag { nest: nest_index as u32, stmt: si as u32, instance };
             let rec = planner.plan_statement(&mut steps, tag, stmt, &iter, core, force_default);
-            deps.wire(&mut steps, rec.first_step as usize, rec.last_step as usize);
             records.push(rec);
             instance += 1;
             in_window += 1;
             if in_window == window {
-                let (before, after) = reduce_window(&mut steps, window_first_step);
-                syncs_before += before;
-                syncs_after += after;
                 planner.l1.reset();
-                window_first_step = steps.len();
                 in_window = 0;
             }
         }
     }
-    if in_window > 0 {
-        let (before, after) = reduce_window(&mut steps, window_first_step);
-        syncs_before += before;
-        syncs_after += after;
-    }
 
-    let mut stats = NestStats {
-        window_size: window,
-        syncs_before,
-        syncs_after,
-        instances: records.len() as u64,
-        ..NestStats::default()
-    };
+    let mut stats =
+        NestStats { window_size: window, instances: records.len() as u64, ..NestStats::default() };
     for r in &records {
         stats.movement_opt += r.movement_opt;
         stats.movement_default += r.movement_default;
@@ -200,6 +225,49 @@ pub fn plan_nest(
     }
     stats.records = records;
     NestPlan { schedule: Schedule { steps }, stats }
+}
+
+/// The *synchronization* half of nest planning: replays the placement
+/// records of a [`place_nest`] plan in order, wiring element-level
+/// flow/anti/output dependences and transitively reducing each window's
+/// arcs exactly as the fused loop did.
+///
+/// Each window is reduced over the step prefix that existed when the
+/// fused loop hit that boundary (`steps[..last_step_of_the_window]`), so
+/// arcs and counters are bit-identical to interleaved wiring. Updates
+/// `stats.syncs_before` / `stats.syncs_after` in place. Idempotent-safe
+/// only on freshly placed plans (wait arcs are rewritten from scratch per
+/// record range, but windows already reduced would re-reduce).
+pub fn sync_nest(plan: &mut NestPlan) {
+    let window = plan.stats.window_size.max(1);
+    let steps = &mut plan.schedule.steps;
+    let mut deps = DepTracker::default();
+    let mut syncs_before = 0u64;
+    let mut syncs_after = 0u64;
+
+    let mut window_first_step = 0usize;
+    let mut in_window = 0usize;
+    for rec in &plan.stats.records {
+        deps.wire(steps, rec.first_step as usize, rec.last_step as usize);
+        in_window += 1;
+        if in_window == window {
+            // Reduce over the prefix that existed at this boundary in the
+            // fused loop: later windows' steps must stay out of scope.
+            let end = rec.last_step as usize;
+            let (before, after) = reduce_window(&mut steps[..end], window_first_step);
+            syncs_before += before;
+            syncs_after += after;
+            window_first_step = end;
+            in_window = 0;
+        }
+    }
+    if in_window > 0 {
+        let (before, after) = reduce_window(steps, window_first_step);
+        syncs_before += before;
+        syncs_after += after;
+    }
+    plan.stats.syncs_before = syncs_before;
+    plan.stats.syncs_after = syncs_after;
 }
 
 /// Element-level dependence tracking: inserts inter-statement wait arcs.
@@ -501,6 +569,43 @@ mod tests {
             assert_eq!(s.node, asg[it % asg.len()]);
         }
         assert_eq!(p.stats.movement_opt, p.stats.movement_default);
+    }
+
+    #[test]
+    fn placement_is_wait_free_until_sync_runs() {
+        let stmts = ["A[i] = B[i] + C[i]", "X[i] = A[i] * 2", "Y[i] = X[i] + A[i]"];
+        let (program, machine, layout) = setup(&stmts, 24);
+        let data = program.initial_data();
+        let asg = assignment(&machine, 24);
+        let mut staged = place_nest(
+            &program,
+            0,
+            &layout,
+            &data,
+            HitPredictor::AlwaysHit,
+            PlanOptions::default(),
+            3,
+            &asg,
+            None,
+            false,
+        );
+        assert!(staged.schedule.steps.iter().all(|s| s.waits.is_empty()));
+        assert_eq!((staged.stats.syncs_before, staged.stats.syncs_after), (0, 0));
+        sync_nest(&mut staged);
+        let fused = plan_nest(
+            &program,
+            0,
+            &layout,
+            &data,
+            HitPredictor::AlwaysHit,
+            PlanOptions::default(),
+            3,
+            &asg,
+            None,
+            false,
+        );
+        assert_eq!(staged, fused, "staged place+sync must be bit-identical to the fused plan");
+        assert!(staged.stats.syncs_before > 0, "the chain above must need sync arcs");
     }
 
     #[test]

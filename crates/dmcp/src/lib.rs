@@ -20,8 +20,9 @@
 //! | [`sim`] | `dmcp-sim` | timing/energy simulation, ideal & S1–S4 scenarios |
 //! | [`workloads`] | `dmcp-workloads` | the 12 kernels (Splash-2 + Mantevo shapes) |
 //! | [`baselines`] | `dmcp-baselines` | profiled default placement, data-to-MC mapping |
+//! | [`pool`] | `dmcp-pool` | deterministic fork-join thread pool shared by planner, serve, check |
 //! | [`serve`] | `dmcp-serve` | plan compilation service: content-addressed cache, worker pool |
-//! | [`check`] | `dmcp-check` | property-testing harness: generators, oracles, shrinking |
+//! | [`check`] | `dmcp-check` | property-testing harness: generators, oracles, shrinking, goldens |
 //!
 //! # Quick start
 //!
@@ -49,6 +50,7 @@ pub use dmcp_core as core;
 pub use dmcp_ir as ir;
 pub use dmcp_mach as mach;
 pub use dmcp_mem as mem;
+pub use dmcp_pool as pool;
 pub use dmcp_serve as serve;
 pub use dmcp_sim as sim;
 pub use dmcp_workloads as workloads;

@@ -42,7 +42,7 @@ pub fn affine_to_string(a: &AffineExpr, vars: &[String]) -> String {
 
 /// Renders an array reference (`A[i+1][j]`, `X[Y[i]]`).
 pub fn ref_to_string(r: &ArrayRef, program: &Program, vars: &[String]) -> String {
-    let mut out = program.array(r.array).name.clone();
+    let mut out = program.array_name(r.array).to_string();
     for idx in &r.indices {
         match idx {
             IndexExpr::Affine(a) => {
@@ -92,14 +92,15 @@ pub fn statement_to_string(s: &Statement, program: &Program, vars: &[String]) ->
 
 /// Renders a whole nest as pseudo-C.
 pub fn nest_to_string(nest: &LoopNest, program: &Program) -> String {
-    let vars: Vec<String> = nest.dims.iter().map(|d| d.name.clone()).collect();
+    let vars: Vec<String> =
+        nest.dims.iter().map(|d| program.symbols().name_or_unknown(d.name).to_string()).collect();
     let mut out = String::new();
     for (depth, d) in nest.dims.iter().enumerate() {
         let _ = writeln!(
             out,
             "{}for ({name} = {lo}; {name} < {hi}; {name}++)",
             "  ".repeat(depth),
-            name = d.name,
+            name = program.symbols().name_or_unknown(d.name),
             lo = d.lo,
             hi = d.hi
         );
@@ -134,7 +135,7 @@ mod tests {
         let printed = statement_to_string(&nest.body[0], &p, &vars);
         let mut ctx = ParseCtx::new();
         for (k, a) in p.arrays().iter().enumerate() {
-            ctx.add_array(a.name.clone(), ArrayId::from_index(k));
+            ctx.add_array(p.symbols().name_or_unknown(a.name), ArrayId::from_index(k));
         }
         ctx.add_var("i", crate::access::VarId::from_depth(0));
         ctx.add_var("j", crate::access::VarId::from_depth(1));

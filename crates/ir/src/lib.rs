@@ -51,6 +51,7 @@ pub mod nested;
 pub mod op;
 pub mod parser;
 pub mod program;
+pub mod symbol;
 pub mod transform;
 
 pub use access::{ArrayId, ArrayRef, IndexExpr};
@@ -62,3 +63,4 @@ pub use op::BinOp;
 pub use program::{
     ArrayDecl, DataStore, IterVec, LoopDim, LoopNest, Mismatch, Program, ProgramBuilder, Statement,
 };
+pub use symbol::{Symbol, SymbolTable};

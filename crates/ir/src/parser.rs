@@ -19,14 +19,19 @@ use crate::access::{AffineExpr, ArrayId, ArrayRef, IndexExpr, VarId};
 use crate::expr::Expr;
 use crate::lexer::{tokenize, LexError, Token};
 use crate::op::BinOp;
-use std::collections::HashMap;
+use crate::symbol::SymbolTable;
 use std::fmt;
 
 /// Name-resolution context: array and loop-variable names in scope.
+///
+/// Names are interned once at registration; resolution is one symbol
+/// lookup followed by a dense `u32`-indexed table probe, so parsing never
+/// hashes an identifier string more than once.
 #[derive(Clone, Debug, Default)]
 pub struct ParseCtx {
-    arrays: HashMap<String, ArrayId>,
-    vars: HashMap<String, VarId>,
+    symbols: SymbolTable,
+    arrays: Vec<Option<ArrayId>>,
+    vars: Vec<Option<VarId>>,
 }
 
 impl ParseCtx {
@@ -37,20 +42,30 @@ impl ParseCtx {
 
     /// Registers an array name.
     pub fn add_array(&mut self, name: impl Into<String>, id: ArrayId) {
-        self.arrays.insert(name.into(), id);
+        let s = self.symbols.intern(&name.into());
+        if self.arrays.len() <= s.index() {
+            self.arrays.resize(s.index() + 1, None);
+        }
+        self.arrays[s.index()] = Some(id);
     }
 
     /// Registers a loop-variable name.
     pub fn add_var(&mut self, name: impl Into<String>, id: VarId) {
-        self.vars.insert(name.into(), id);
+        let s = self.symbols.intern(&name.into());
+        if self.vars.len() <= s.index() {
+            self.vars.resize(s.index() + 1, None);
+        }
+        self.vars[s.index()] = Some(id);
     }
 
     fn array(&self, name: &str) -> Option<ArrayId> {
-        self.arrays.get(name).copied()
+        let s = self.symbols.lookup(name)?;
+        self.arrays.get(s.index()).copied().flatten()
     }
 
     fn var(&self, name: &str) -> Option<VarId> {
-        self.vars.get(name).copied()
+        let s = self.symbols.lookup(name)?;
+        self.vars.get(s.index()).copied().flatten()
     }
 }
 

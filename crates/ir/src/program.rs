@@ -3,6 +3,7 @@
 use crate::access::{ArrayId, ArrayRef, IndexExpr, VarId};
 use crate::expr::Expr;
 use crate::parser::{parse_statement, ParseCtx, ParseError};
+use crate::symbol::{Symbol, SymbolTable};
 use std::fmt;
 
 /// A concrete iteration vector (outermost loop first).
@@ -11,8 +12,9 @@ pub type IterVec = Vec<i64>;
 /// One dimension of a loop nest: `for var in lo..hi`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LoopDim {
-    /// Source name of the loop variable.
-    pub name: String,
+    /// Interned source name of the loop variable (resolved through the
+    /// owning program's [`SymbolTable`]; display-only).
+    pub name: Symbol,
     /// Inclusive lower bound.
     pub lo: i64,
     /// Exclusive upper bound.
@@ -154,8 +156,9 @@ impl Iterator for NestIterations<'_> {
 /// A declared array.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ArrayDecl {
-    /// Source name.
-    pub name: String,
+    /// Interned source name (resolved through the owning program's
+    /// [`SymbolTable`]; display-only).
+    pub name: Symbol,
     /// Extents, outermost dimension first.
     pub dims: Vec<u64>,
     /// Element size in bytes.
@@ -189,12 +192,24 @@ impl ArrayDecl {
 pub struct Program {
     arrays: Vec<ArrayDecl>,
     nests: Vec<LoopNest>,
+    symbols: SymbolTable,
 }
 
 impl Program {
     /// The declared arrays, indexable by [`ArrayId::index`].
     pub fn arrays(&self) -> &[ArrayDecl] {
         &self.arrays
+    }
+
+    /// The program's identifier names (display/explain only — nothing
+    /// semantic keys on them).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Source name of an array (`"?"` for placeholder symbols).
+    pub fn array_name(&self, id: ArrayId) -> &str {
+        self.symbols.name_or_unknown(self.array(id).name)
     }
 
     /// The loop nests in program order.
@@ -498,6 +513,7 @@ impl From<ParseError> for BuildError {
 pub struct ProgramBuilder {
     arrays: Vec<ArrayDecl>,
     nests: Vec<LoopNest>,
+    symbols: SymbolTable,
     next_va: u64,
 }
 
@@ -509,7 +525,12 @@ const VA_GAP: u64 = 4096;
 impl ProgramBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        Self { arrays: Vec::new(), nests: Vec::new(), next_va: VA_BASE }
+        Self {
+            arrays: Vec::new(),
+            nests: Vec::new(),
+            symbols: SymbolTable::new(),
+            next_va: VA_BASE,
+        }
     }
 
     /// Declares an array and returns its id.
@@ -545,7 +566,7 @@ impl ProgramBuilder {
         let bytes = dims.iter().product::<u64>() * u64::from(elem_size);
         self.next_va += ((bytes + skew + VA_GAP) / 4096 + 1) * 4096;
         self.arrays.push(ArrayDecl {
-            name: name.into(),
+            name: self.symbols.intern(&name.into()),
             dims: dims.to_vec(),
             elem_size,
             base_va,
@@ -567,7 +588,7 @@ impl ProgramBuilder {
         }
         let mut ctx = ParseCtx::new();
         for (i, a) in self.arrays.iter().enumerate() {
-            ctx.add_array(a.name.clone(), ArrayId::from_index(i));
+            ctx.add_array(self.symbols.name_or_unknown(a.name), ArrayId::from_index(i));
         }
         for (d, (name, _, _)) in loops.iter().enumerate() {
             ctx.add_var(*name, VarId::from_depth(d));
@@ -579,7 +600,7 @@ impl ProgramBuilder {
         self.nests.push(LoopNest {
             dims: loops
                 .iter()
-                .map(|&(name, lo, hi)| LoopDim { name: name.into(), lo, hi })
+                .map(|&(name, lo, hi)| LoopDim { name: self.symbols.intern(name), lo, hi })
                 .collect(),
             body,
         });
@@ -594,7 +615,7 @@ impl ProgramBuilder {
 
     /// Finishes the program.
     pub fn build(self) -> Program {
-        Program { arrays: self.arrays, nests: self.nests }
+        Program { arrays: self.arrays, nests: self.nests, symbols: self.symbols }
     }
 
     /// Parse context over the arrays declared so far plus the given loop
@@ -602,7 +623,7 @@ impl ProgramBuilder {
     pub fn parse_ctx(&self, vars: &[&str]) -> ParseCtx {
         let mut ctx = ParseCtx::new();
         for (i, a) in self.arrays.iter().enumerate() {
-            ctx.add_array(a.name.clone(), ArrayId::from_index(i));
+            ctx.add_array(self.symbols.name_or_unknown(a.name), ArrayId::from_index(i));
         }
         for (d, name) in vars.iter().enumerate() {
             ctx.add_var(*name, VarId::from_depth(d));
@@ -627,8 +648,8 @@ mod tests {
     fn iteration_order_is_lexicographic() {
         let nest = LoopNest {
             dims: vec![
-                LoopDim { name: "i".into(), lo: 0, hi: 2 },
-                LoopDim { name: "j".into(), lo: 0, hi: 2 },
+                LoopDim { name: Symbol::default(), lo: 0, hi: 2 },
+                LoopDim { name: Symbol::default(), lo: 0, hi: 2 },
             ],
             body: vec![],
         };
@@ -639,8 +660,10 @@ mod tests {
 
     #[test]
     fn empty_trip_count_yields_no_iterations() {
-        let nest =
-            LoopNest { dims: vec![LoopDim { name: "i".into(), lo: 5, hi: 5 }], body: vec![] };
+        let nest = LoopNest {
+            dims: vec![LoopDim { name: Symbol::default(), lo: 5, hi: 5 }],
+            body: vec![],
+        };
         assert_eq!(nest.iterations().count(), 0);
     }
 
@@ -649,17 +672,17 @@ mod tests {
     // dimensions then overflowed the trip-count product. Both saturate now.
     #[test]
     fn trip_count_saturates_on_extreme_bounds() {
-        let d = LoopDim { name: "i".into(), lo: i64::MIN, hi: i64::MAX };
+        let d = LoopDim { name: Symbol::default(), lo: i64::MIN, hi: i64::MAX };
         assert_eq!(d.trip_count(), u64::MAX);
         let nest = LoopNest {
             dims: vec![
-                LoopDim { name: "i".into(), lo: i64::MIN, hi: i64::MAX },
-                LoopDim { name: "j".into(), lo: 0, hi: 3 },
+                LoopDim { name: Symbol::default(), lo: i64::MIN, hi: i64::MAX },
+                LoopDim { name: Symbol::default(), lo: 0, hi: 3 },
             ],
             body: vec![],
         };
         assert_eq!(nest.iteration_count(), u64::MAX);
-        let backwards = LoopDim { name: "i".into(), lo: i64::MAX, hi: i64::MIN };
+        let backwards = LoopDim { name: Symbol::default(), lo: i64::MAX, hi: i64::MIN };
         assert_eq!(backwards.trip_count(), 0);
     }
 
@@ -716,8 +739,10 @@ mod tests {
 
     #[test]
     fn nonzero_lower_bounds() {
-        let nest =
-            LoopNest { dims: vec![LoopDim { name: "i".into(), lo: 2, hi: 5 }], body: vec![] };
+        let nest = LoopNest {
+            dims: vec![LoopDim { name: Symbol::default(), lo: 2, hi: 5 }],
+            body: vec![],
+        };
         let iters: Vec<_> = nest.iterations().collect();
         assert_eq!(iters, vec![vec![2], vec![3], vec![4]]);
     }
@@ -847,8 +872,13 @@ mod tests {
 
     #[test]
     fn va_wraps_out_of_bounds_linear_index() {
-        let decl =
-            ArrayDecl { name: "A".into(), dims: vec![4], elem_size: 8, base_va: 1000, hot: false };
+        let decl = ArrayDecl {
+            name: Symbol::default(),
+            dims: vec![4],
+            elem_size: 8,
+            base_va: 1000,
+            hot: false,
+        };
         assert_eq!(decl.va_of(5), decl.va_of(1));
     }
 }

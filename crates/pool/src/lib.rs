@@ -1,0 +1,406 @@
+//! `dmcp-pool` — the repo's one shared execution substrate.
+//!
+//! Every parallel dimension in the planning stack is *embarrassingly*
+//! parallel (per-nest planning, the 1‥8 window-size search, per-seed
+//! property sweeps, per-workload evaluation), so this crate provides
+//! exactly two shapes and nothing more:
+//!
+//! * [`Pool`] — scoped fork-join over a fixed item list with
+//!   **deterministic ordered joins**: `map` returns results in input
+//!   order no matter which worker ran which item, so pooled callers are
+//!   bit-identical to their old sequential loops. Workers pull items off
+//!   a shared atomic cursor (work stealing by index), and a panic in any
+//!   task is re-raised on the caller after the scope joins.
+//! * [`WorkerPool`] — a persistent bounded-queue pool for services that
+//!   accept work over time instead of all at once (`dmcp-serve`). Jobs
+//!   are boxed closures; admission is non-blocking with typed
+//!   [`SubmitError`]s so callers shed load instead of blocking; closing
+//!   drains everything already admitted before the workers exit.
+//!
+//! Determinism rules for pooled execution:
+//!
+//! 1. tasks never share mutable state — each returns its result by value
+//!    and the pool reassembles them by input index;
+//! 2. anything seeded derives its stream from the task *index* via
+//!    [`task_seed`] (splitmix64), never from thread identity or arrival
+//!    order;
+//! 3. reductions over pooled results happen on the caller, in input
+//!    order.
+//!
+//! Under those rules `Pool::new(1)` and `Pool::new(8)` are
+//! indistinguishable except in wall-time, which is what the golden-plan
+//! determinism tests pin.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// The default worker count: the `DMCP_THREADS` environment variable when
+/// set to a positive integer, otherwise the machine's available
+/// parallelism (1 when even that is unknown).
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("DMCP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// A scoped fork-join pool with deterministic ordered joins.
+///
+/// The pool owns no threads between calls: each [`Pool::map`] spawns up
+/// to `threads` scoped workers, runs the items, joins, and returns the
+/// results in input order. That keeps it safe to nest (a pooled caller
+/// may itself run under a pool) and free when idle.
+#[derive(Clone, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool running `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// A strictly sequential pool — handy as an explicit baseline.
+    #[must_use]
+    pub fn single() -> Self {
+        Self::new(1)
+    }
+
+    /// The process-wide shared pool, sized by [`default_threads`] on
+    /// first use.
+    #[must_use]
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::new(default_threads()))
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, returning one result per item **in input
+    /// order**. `f` receives `(index, &item)`.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic on the caller (after all workers
+    /// joined), so `catch_unwind` at the call site behaves exactly as it
+    /// would around a sequential loop.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(items.len());
+        let mut buckets: Vec<std::thread::Result<Vec<(usize, R)>>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            out.push((i, f(i, &items[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                buckets.push(h.join());
+            }
+        });
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for bucket in buckets {
+            match bucket {
+                Ok(pairs) => {
+                    for (i, r) in pairs {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => panic = panic.or(Some(payload)),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        slots.into_iter().map(|s| s.expect("pool: every index produced a result")).collect()
+    }
+
+    /// [`Pool::map`] over *owned* items: each item is moved into exactly
+    /// one task call, so `f` can consume it (e.g. transform a plan in
+    /// place) without `T: Sync` or cloning. Results come back in input
+    /// order, and panics propagate exactly as in [`Pool::map`].
+    pub fn map_vec<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        // Each slot is taken exactly once (the cursor hands every index to
+        // one worker), so the mutexes are uncontended.
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.map(&slots, |i, slot| {
+            let item = slot.lock().expect("pool slot poisoned").take();
+            f(i, item.expect("pool: slot consumed twice"))
+        })
+    }
+
+    /// [`Pool::map`] over the index range `0..n` (no item list needed).
+    pub fn run<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let indices: Vec<usize> = (0..n).collect();
+        self.map(&indices, |_, &i| f(i))
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::new(default_threads())
+    }
+}
+
+/// Derives the seed for task `index` of a pooled run from `seed0`
+/// (splitmix64 finalizer over the pair). A pure function of the inputs,
+/// so streams are identical whatever thread count runs the tasks.
+#[must_use]
+pub fn task_seed(seed0: u64, index: u64) -> u64 {
+    splitmix(seed0 ^ splitmix(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// The splitmix64 finalizer (same constants as `dmcp_mach::rng::mix`;
+/// duplicated so this crate stays at the bottom of the dependency graph).
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Typed admission errors for [`WorkerPool::try_submit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — shed load and retry later.
+    QueueFull,
+    /// The pool has been closed.
+    Closed,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool over a bounded job queue.
+///
+/// This is the execution half of a service: long-lived named threads, a
+/// bounded `sync_channel`, non-blocking admission, and graceful draining
+/// on close (every job admitted before [`WorkerPool::close`] runs to
+/// completion before the workers exit). Dropping the pool closes it.
+pub struct WorkerPool {
+    queue: Mutex<Option<SyncSender<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (clamped to at least 1) named
+    /// `{name}-{k}` draining a queue of depth `queue_depth`.
+    #[must_use]
+    pub fn new(name: &str, workers: usize, queue_depth: usize) -> Self {
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|k| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{k}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { queue: Mutex::new(Some(tx)), workers }
+    }
+
+    /// Admits one job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the bounded queue cannot take the
+    /// job, [`SubmitError::Closed`] after [`WorkerPool::close`].
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let queue = self.queue.lock().expect("pool queue poisoned");
+        match queue.as_ref() {
+            None => Err(SubmitError::Closed),
+            Some(tx) => match tx.try_send(Box::new(job)) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+                Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
+            },
+        }
+    }
+
+    /// Stops admitting, drains everything already queued, joins the
+    /// workers. Idempotent.
+    pub fn close(&mut self) {
+        self.queue.lock().expect("pool queue poisoned").take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Rust-book worker-pool idiom: the guard lives only for the recv,
+        // so workers run jobs concurrently.
+        let job = rx.lock().expect("pool receiver poisoned").recv();
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // queue closed and drained
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.map(&items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let seq = Pool::single().run(64, |i| task_seed(0xD4C9, i as u64));
+        let par = Pool::new(8).run(64, |i| task_seed(0xD4C9, i as u64));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn map_vec_consumes_each_item_exactly_once() {
+        // Non-Clone items prove ownership is moved, not copied.
+        struct Token(u64);
+        for threads in [1, 4] {
+            let items: Vec<Token> = (0..50).map(Token).collect();
+            let out = Pool::new(threads).map_vec(items, |i, t| {
+                assert_eq!(i as u64, t.0);
+                t.0 + 1
+            });
+            assert_eq!(out, (1..=50).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_covers_every_index_once() {
+        let hits = AtomicU64::new(0);
+        let out = Pool::new(4).run(37, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out, (0..37).collect::<Vec<_>>());
+        assert_eq!(hits.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let pool = Pool::new(4);
+        let caught = std::panic::catch_unwind(|| {
+            pool.run(16, |i| {
+                assert!(i != 7, "planted failure");
+                i
+            })
+        });
+        assert!(caught.is_err(), "the planted panic must surface");
+    }
+
+    #[test]
+    fn task_seed_is_pure_and_spreads() {
+        assert_eq!(task_seed(1, 2), task_seed(1, 2));
+        let seeds: std::collections::HashSet<u64> =
+            (0..1000).map(|i| task_seed(0xABCD, i)).collect();
+        assert_eq!(seeds.len(), 1000, "per-task streams must not collide");
+    }
+
+    #[test]
+    fn worker_pool_drains_admitted_jobs_on_close() {
+        let done = Arc::new(AtomicU64::new(0));
+        let mut pool = WorkerPool::new("test", 2, 64);
+        for _ in 0..16 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.close();
+        assert_eq!(done.load(Ordering::Relaxed), 16);
+        assert_eq!(pool.try_submit(|| {}), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn worker_pool_rejects_when_full() {
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock().unwrap();
+        let mut pool = WorkerPool::new("test", 1, 1);
+        // First job parks the only worker on the gate; the second fills
+        // the depth-1 queue; the third must be rejected.
+        let g = Arc::clone(&gate);
+        pool.try_submit(move || {
+            drop(g.lock().unwrap());
+        })
+        .unwrap();
+        let mut rejected = false;
+        for _ in 0..50 {
+            match pool.try_submit(|| {}) {
+                Ok(()) => {}
+                Err(SubmitError::QueueFull) => {
+                    rejected = true;
+                    break;
+                }
+                Err(SubmitError::Closed) => panic!("pool is open"),
+            }
+        }
+        assert!(rejected, "a depth-1 queue must reject under a burst");
+        drop(held);
+        pool.close();
+    }
+}

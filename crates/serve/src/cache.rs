@@ -214,13 +214,11 @@ mod tests {
                 tag: StmtTag::default(),
             })
             .collect();
-        Arc::new(PartitionOutput {
-            nests: vec![NestPartition {
-                nest: 0,
-                schedule: Schedule { steps },
-                stats: NestStats::default(),
-            }],
-        })
+        Arc::new(PartitionOutput::new(vec![NestPartition {
+            nest: 0,
+            schedule: Schedule { steps },
+            stats: NestStats::default(),
+        }]))
     }
 
     #[test]

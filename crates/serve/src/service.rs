@@ -22,12 +22,11 @@ use crate::cache::{CacheStats, ShardedPlanCache};
 use crate::key::{PlanKey, PlanRequest};
 use dmcp_core::{PartitionError, PartitionOutput, Partitioner};
 use dmcp_mach::FaultState;
+use dmcp_pool::{Pool, SubmitError, WorkerPool};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Service configuration.
 #[derive(Clone, Copy, Debug)]
@@ -163,8 +162,9 @@ struct Inner {
     inflight: Mutex<HashMap<PlanKey, Arc<Flight>>>,
     /// Memoized per-nest window sizes by key: survives cache eviction (it
     /// is tiny), so a recompile of a known key skips the 1‥8 search sweep
-    /// and still produces a bit-identical plan.
-    windows: Mutex<HashMap<PlanKey, Vec<usize>>>,
+    /// and still produces a bit-identical plan. Shared slices: the compile
+    /// path borrows them without cloning the vector.
+    windows: Mutex<HashMap<PlanKey, Arc<[usize]>>>,
     compiles: AtomicU64,
     shared: AtomicU64,
     submitted: AtomicU64,
@@ -185,15 +185,17 @@ fn compile_output(
         Some(d) => d.clone(),
         None => request.program.initial_data(),
     };
+    // Concurrency lives at the request grain here (the service's worker
+    // pool), so each compile runs its pipeline single-threaded — plans are
+    // bit-identical either way.
+    let pool = Pool::single();
+    let hints = windows.unwrap_or(&[]);
     match &request.faults {
         None => {
             request.config.validate()?;
             let partitioner =
                 Partitioner::new(&request.machine, &request.program, request.config.clone());
-            Ok(match windows {
-                Some(w) => partitioner.partition_with_data_reusing(&request.program, &data, w),
-                None => partitioner.partition_with_data(&request.program, &data),
-            })
+            Ok(partitioner.run_pipeline(&request.program, &data, &pool, false, hints))
         }
         Some(plan) => {
             let faults = FaultState::new(plan.clone(), request.machine.mesh)
@@ -204,10 +206,7 @@ fn compile_output(
                 request.config.clone(),
                 &faults,
             )?;
-            let out = match windows {
-                Some(w) => partitioner.partition_with_data_reusing(&request.program, &data, w),
-                None => partitioner.partition_with_data(&request.program, &data),
-            };
+            let out = partitioner.run_pipeline(&request.program, &data, &pool, false, hints);
             // Degraded plans must uphold the live-node invariant; check
             // exactly as `try_partition` would.
             for nest in &out.nests {
@@ -232,7 +231,10 @@ impl Inner {
         let windows = self.windows.lock().expect("window memo poisoned").get(&key).cloned();
         let out = compile_output(request, windows.as_deref())?;
         if windows.is_none() {
-            self.windows.lock().expect("window memo poisoned").insert(key, out.window_sizes());
+            self.windows
+                .lock()
+                .expect("window memo poisoned")
+                .insert(key, Arc::from(out.window_sizes()));
         }
         let plan = Arc::new(out);
         self.cache.insert(key, Arc::clone(&plan));
@@ -275,8 +277,7 @@ pub struct ServeStats {
 /// first); prefer calling [`PlanService::shutdown`] to make that explicit.
 pub struct PlanService {
     inner: Arc<Inner>,
-    queue: Mutex<Option<SyncSender<Job>>>,
-    workers: Vec<JoinHandle<()>>,
+    pool: WorkerPool,
 }
 
 impl PlanService {
@@ -293,19 +294,8 @@ impl PlanService {
             rejected: AtomicU64::new(0),
             single_flight: config.single_flight,
         });
-        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..config.workers.max(1))
-            .map(|k| {
-                let inner = Arc::clone(&inner);
-                let rx = Arc::clone(&rx);
-                std::thread::Builder::new()
-                    .name(format!("dmcp-serve-{k}"))
-                    .spawn(move || worker_loop(&inner, &rx))
-                    .expect("spawn worker")
-            })
-            .collect();
-        Self { inner, queue: Mutex::new(Some(tx)), workers }
+        let pool = WorkerPool::new("dmcp-serve", config.workers, config.queue_depth);
+        Self { inner, pool }
     }
 
     /// Submits one request. Returns a ticket immediately; the compile (if
@@ -334,15 +324,12 @@ impl PlanService {
         }
         // Hold the in-flight lock across the enqueue so a worker cannot
         // finish the job (and remove the flight) before it is registered.
-        let queue = self.queue.lock().expect("queue poisoned");
-        let admit = match queue.as_ref() {
-            None => Err(ServeError::ShuttingDown),
-            Some(tx) => match tx.try_send(Job { key, request, flight: Arc::clone(&flight) }) {
-                Ok(()) => Ok(()),
-                Err(TrySendError::Full(_)) => Err(ServeError::QueueFull),
-                Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
-            },
-        };
+        let job = Job { key, request, flight: Arc::clone(&flight) };
+        let inner_for_job = Arc::clone(&self.inner);
+        let admit = self.pool.try_submit(move || inner_for_job.run_job(job)).map_err(|e| match e {
+            SubmitError::QueueFull => ServeError::QueueFull,
+            SubmitError::Closed => ServeError::ShuttingDown,
+        });
         if let Err(e) = admit {
             if self.inner.single_flight {
                 inflight.remove(&key);
@@ -436,34 +423,9 @@ impl PlanService {
 
     /// Graceful shutdown: stops admitting, drains the queue, joins the
     /// workers. Every ticket handed out before the call still resolves.
+    /// (Dropping the service does the same via the pool's own `Drop`.)
     pub fn shutdown(mut self) {
-        self.close_and_join();
-    }
-
-    fn close_and_join(&mut self) {
-        self.queue.lock().expect("queue poisoned").take();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-impl Drop for PlanService {
-    fn drop(&mut self) {
-        self.close_and_join();
-    }
-}
-
-fn worker_loop(inner: &Inner, rx: &Mutex<Receiver<Job>>) {
-    loop {
-        // Rust-book worker-pool idiom: the guard lives only for the recv —
-        // it is dropped at the end of the statement, before the job runs,
-        // so workers process jobs concurrently.
-        let job = rx.lock().expect("queue receiver poisoned").recv();
-        match job {
-            Ok(job) => inner.run_job(job),
-            Err(_) => return, // queue closed and drained: shutdown
-        }
+        self.pool.close();
     }
 }
 
@@ -565,9 +527,9 @@ mod tests {
 
     #[test]
     fn submit_after_shutdown_fails() {
-        let service = PlanService::new(ServeConfig::default());
+        let mut service = PlanService::new(ServeConfig::default());
         let inner = Arc::clone(&service.inner);
-        service.queue.lock().unwrap().take();
+        service.pool.close();
         let err = service.plan(request(16)).unwrap_err();
         assert_eq!(err, ServeError::ShuttingDown);
         drop(service);

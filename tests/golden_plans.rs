@@ -1,78 +1,85 @@
-//! Golden-plan digests: the partitioner's output for every workload at
-//! Tiny scale, fingerprinted with [`dmcp::check::plan_digest`]. Any change
-//! to splitting, scheduling, placement, or tie-breaking shows up here as a
-//! digest mismatch — if the change is intentional, update the table (the
-//! failure message prints the new value).
+//! Golden-plan pins for the full 12-workload suite.
 //!
-//! The digest covers the semantic content of the plan (steps, nodes,
-//! operands, store targets, waits, seeds) and deliberately ignores
-//! incidental identifiers, so it is stable across pure refactors.
+//! The expected values live in [`dmcp::check::golden`] so the CI
+//! `plan-bench` gate and these tests fail together on any drift. Each
+//! workload is pinned three ways: the healthy plan digest, the plan
+//! digest under the canonical fault plan, and the `PlanKey` digests for
+//! both — so changes to splitting, placement, window choice, sync
+//! reduction, fault re-homing *or* cache-key derivation all surface
+//! here.
+//!
+//! To regenerate after an intentional planner change:
+//!
+//! ```text
+//! cargo test -p dmcp-check print_golden_tables -- --ignored --nocapture
+//! ```
 
-use dmcp::check::plan_digest;
-use dmcp::core::{PartitionConfig, Partitioner};
-use dmcp::mach::MachineConfig;
-use dmcp::workloads::{all, by_name, Scale};
+use dmcp::check::golden::{
+    degraded_digest, healthy_digest, key_digests, GOLDEN_DEGRADED, GOLDEN_HEALTHY, GOLDEN_KEYS,
+};
+use dmcp::pool::Pool;
+use dmcp::workloads::{all, Scale};
 
-/// Expected digest per workload, produced by `digest_of` below.
-const GOLDEN: &[(&str, u64)] = &[
-    ("Barnes", 0xfcc3d21b971148af),
-    ("Cholesky", 0xec3103d3d6ef6ce8),
-    ("FFT", 0x7ee4c14e0346b142),
-    ("FMM", 0x362451db685f9acb),
-    ("LU", 0x8c969337a80f8708),
-    ("Ocean", 0x99c6b56d39b91391),
-    ("Radiosity", 0x78453244ace62a0d),
-    ("Radix", 0xd33cf59f2860809c),
-    ("Raytrace", 0xbd205ffa11453f34),
-    ("Water", 0x20347db488c4f63d),
-    ("MiniMD", 0xbac0d0dc0eba9c86),
-    ("MiniXyce", 0x6d172a91265be22b),
-];
-
-fn digest_of(name: &str) -> u64 {
-    let w = by_name(name, Scale::Tiny).expect("known workload");
-    let machine = MachineConfig::knl_like();
-    let part = Partitioner::new(&machine, &w.program, PartitionConfig::default());
-    let out = part.partition_with_data(&w.program, &w.data);
-    plan_digest(&out)
+#[test]
+fn golden_tables_cover_the_whole_suite() {
+    let suite: Vec<&str> = all(Scale::Tiny).iter().map(|w| w.name).collect();
+    assert_eq!(suite.len(), 12, "the paper's suite is 12 workloads");
+    for table in [GOLDEN_HEALTHY, GOLDEN_DEGRADED] {
+        assert_eq!(table.len(), suite.len());
+        for name in &suite {
+            assert!(table.iter().any(|(n, _)| n == name), "{name} missing from a golden table");
+        }
+    }
+    assert_eq!(GOLDEN_KEYS.len(), suite.len());
 }
 
 #[test]
-fn golden_table_covers_the_whole_suite() {
-    let suite: Vec<String> = all(Scale::Tiny).into_iter().map(|w| w.name.to_string()).collect();
-    assert_eq!(suite.len(), GOLDEN.len(), "suite grew; extend the golden table");
-    for name in &suite {
-        assert!(
-            GOLDEN.iter().any(|(g, _)| g == name),
-            "workload {name} missing from the golden table"
-        );
+fn every_workload_matches_its_healthy_golden() {
+    let pool = Pool::single();
+    for (name, want) in GOLDEN_HEALTHY {
+        let got = healthy_digest(name, &pool);
+        assert_eq!(got, *want, "{name}: healthy plan digest drifted ({got:#018x})");
     }
 }
 
 #[test]
-fn every_workload_matches_its_golden_digest() {
-    for (name, want) in GOLDEN {
-        let got = digest_of(name);
-        assert_eq!(
-            got, *want,
-            "{name}: plan digest changed (got {got:#018x}, expected {want:#018x}) — \
-             planner behaviour drifted; if intentional, update GOLDEN"
-        );
+fn every_workload_matches_its_degraded_golden() {
+    let pool = Pool::single();
+    for (name, want) in GOLDEN_DEGRADED {
+        let got = degraded_digest(name, &pool);
+        assert_eq!(got, *want, "{name}: degraded plan digest drifted ({got:#018x})");
+    }
+}
+
+#[test]
+fn every_workload_matches_its_key_goldens() {
+    for (name, want_healthy, want_degraded) in GOLDEN_KEYS {
+        let (healthy, degraded) = key_digests(name);
+        assert_eq!(healthy, *want_healthy, "{name}: healthy PlanKey digest drifted");
+        assert_eq!(degraded, *want_degraded, "{name}: degraded PlanKey digest drifted");
+        assert_ne!(healthy, degraded, "{name}: faults must be part of the key");
+    }
+}
+
+/// The pooled pipeline must be bit-identical regardless of thread
+/// count: an 8-thread pool reproduces the single-thread goldens for
+/// every workload, healthy and degraded.
+#[test]
+fn eight_threads_reproduce_the_single_thread_goldens() {
+    let pool = Pool::new(8);
+    for (name, want) in GOLDEN_HEALTHY {
+        assert_eq!(healthy_digest(name, &pool), *want, "{name}: healthy digest thread-dependent");
+    }
+    for (name, want) in GOLDEN_DEGRADED {
+        assert_eq!(degraded_digest(name, &pool), *want, "{name}: degraded digest thread-dependent");
     }
 }
 
 #[test]
 fn digests_are_stable_across_repeated_compiles() {
-    for name in ["FFT", "Ocean", "MiniXyce"] {
-        assert_eq!(digest_of(name), digest_of(name), "{name}: non-deterministic plan");
-    }
-}
-
-/// Regenerate the table: `cargo test --test golden_plans -- --ignored --nocapture`.
-#[test]
-#[ignore]
-fn print_golden_digests() {
-    for w in all(Scale::Tiny) {
-        println!("    (\"{}\", {:#018x}),", w.name, digest_of(w.name));
+    let pool = Pool::single();
+    for name in ["FFT", "Ocean"] {
+        assert_eq!(healthy_digest(name, &pool), healthy_digest(name, &pool));
+        assert_eq!(degraded_digest(name, &pool), degraded_digest(name, &pool));
     }
 }
