@@ -33,8 +33,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// The default worker count: the `DMCP_THREADS` environment variable when
 /// set to a positive integer, otherwise the machine's available
@@ -214,6 +215,48 @@ pub enum SubmitError {
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Count of admitted-but-unfinished jobs, with a condvar so a drainer can
+/// wait (with a deadline) for the pool to go quiet.
+struct Pending {
+    count: Mutex<usize>,
+    quiet: Condvar,
+}
+
+impl Pending {
+    fn add(&self) {
+        *self.count.lock().expect("pending count poisoned") += 1;
+    }
+
+    fn done(&self) {
+        let mut count = self.count.lock().expect("pending count poisoned");
+        *count -= 1;
+        if *count == 0 {
+            self.quiet.notify_all();
+        }
+    }
+
+    fn get(&self) -> usize {
+        *self.count.lock().expect("pending count poisoned")
+    }
+
+    fn wait_quiet(&self, deadline: Instant) -> bool {
+        let mut count = self.count.lock().expect("pending count poisoned");
+        while *count > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, timeout) =
+                self.quiet.wait_timeout(count, deadline - now).expect("pending count poisoned");
+            count = next;
+            if timeout.timed_out() && *count > 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// A persistent worker pool over a bounded job queue.
 ///
 /// This is the execution half of a service: long-lived named threads, a
@@ -223,6 +266,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct WorkerPool {
     queue: Mutex<Option<SyncSender<Job>>>,
     workers: Vec<JoinHandle<()>>,
+    pending: Arc<Pending>,
 }
 
 impl WorkerPool {
@@ -241,7 +285,11 @@ impl WorkerPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        Self { queue: Mutex::new(Some(tx)), workers }
+        Self {
+            queue: Mutex::new(Some(tx)),
+            workers,
+            pending: Arc::new(Pending { count: Mutex::new(0), quiet: Condvar::new() }),
+        }
     }
 
     /// Admits one job without blocking.
@@ -254,12 +302,43 @@ impl WorkerPool {
         let queue = self.queue.lock().expect("pool queue poisoned");
         match queue.as_ref() {
             None => Err(SubmitError::Closed),
-            Some(tx) => match tx.try_send(Box::new(job)) {
-                Ok(()) => Ok(()),
-                Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
-                Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
-            },
+            Some(tx) => {
+                // Count before sending so a drainer never observes a gap
+                // between "admitted" and "pending"; uncount on rejection.
+                let pending = Arc::clone(&self.pending);
+                pending.add();
+                let counted = Arc::clone(&pending);
+                let wrapped = move || {
+                    job();
+                    counted.done();
+                };
+                match tx.try_send(Box::new(wrapped)) {
+                    Ok(()) => Ok(()),
+                    Err(TrySendError::Full(_)) => {
+                        pending.done();
+                        Err(SubmitError::QueueFull)
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        pending.done();
+                        Err(SubmitError::Closed)
+                    }
+                }
+            }
         }
+    }
+
+    /// Number of admitted jobs not yet finished (queued plus running).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.get()
+    }
+
+    /// Waits until every admitted job has finished, up to `deadline`.
+    /// Returns `true` when the pool went quiet, `false` on deadline. Does
+    /// not stop admission by itself — callers that want a drain *guarantee*
+    /// stop submitting (or call [`WorkerPool::close`]) first.
+    pub fn drain_within(&self, timeout: Duration) -> bool {
+        self.pending.wait_quiet(Instant::now() + timeout)
     }
 
     /// Stops admitting, drains everything already queued, joins the
@@ -374,6 +453,66 @@ mod tests {
         pool.close();
         assert_eq!(done.load(Ordering::Relaxed), 16);
         assert_eq!(pool.try_submit(|| {}), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn drain_within_waits_for_admitted_jobs() {
+        let done = Arc::new(AtomicU64::new(0));
+        let mut pool = WorkerPool::new("drain", 2, 64);
+        for _ in 0..12 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        assert!(pool.drain_within(Duration::from_secs(10)), "must drain well within 10s");
+        assert_eq!(pool.pending(), 0);
+        assert_eq!(done.load(Ordering::Relaxed), 12);
+        pool.close();
+    }
+
+    #[test]
+    fn drain_within_times_out_on_a_wedged_job() {
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock().unwrap();
+        let mut pool = WorkerPool::new("wedged", 1, 4);
+        let g = Arc::clone(&gate);
+        pool.try_submit(move || {
+            drop(g.lock().unwrap());
+        })
+        .unwrap();
+        assert!(
+            !pool.drain_within(Duration::from_millis(20)),
+            "wedged job must time the drain out"
+        );
+        assert_eq!(pool.pending(), 1);
+        drop(held);
+        assert!(pool.drain_within(Duration::from_secs(10)));
+        pool.close();
+    }
+
+    #[test]
+    fn rejected_jobs_do_not_leak_pending() {
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock().unwrap();
+        let mut pool = WorkerPool::new("leak", 1, 1);
+        let g = Arc::clone(&gate);
+        pool.try_submit(move || {
+            drop(g.lock().unwrap());
+        })
+        .unwrap();
+        let mut rejected = 0;
+        for _ in 0..50 {
+            if pool.try_submit(|| {}) == Err(SubmitError::QueueFull) {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0);
+        drop(held);
+        assert!(pool.drain_within(Duration::from_secs(10)), "rejected submits must not count");
+        pool.close();
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Open-loop load generator for the plan server.
+//!
+//! Drives a zipf-skewed request mix over the 12 paper workloads at a fixed
+//! arrival rate (open loop: arrival times are scheduled up front, so a slow
+//! server accumulates queueing delay instead of silently slowing the
+//! generator — latency numbers include the time a request waited past its
+//! scheduled arrival). Each client thread runs a [`PlanClient`] with the
+//! full timeout/retry/backoff policy; errors and retries are counted, and
+//! p50/p99 latency, throughput and error/retry counts land in
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! dmcp-loadgen [--requests N] [--rate RPS] [--clients N] [--zipf S]
+//!              [--seed S] [--workers N] [--cache-dir DIR] [--out PATH]
+//!              [--addr HOST:PORT] [--restart]
+//! ```
+//!
+//! Without `--addr`, the generator hosts an in-process server on
+//! `127.0.0.1:0`. `--restart` (in-process only) runs the mix twice — cold,
+//! then against a *fresh* server and service rebuilt over the same cache
+//! directory — and exits nonzero if the warm pass recompiled anything:
+//! the durable tier must serve a restart entirely from disk.
+
+use dmcp_mach::rng::Rng64;
+use dmcp_mach::MachineConfig;
+use dmcp_serve::codec::encode_request;
+use dmcp_serve::{
+    ClientConfig, NetConfig, PlanClient, PlanRequest, PlanServer, PlanService, ServeConfig,
+    ServeStats,
+};
+use dmcp_workloads::Scale;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    requests: usize,
+    rate: f64,
+    clients: usize,
+    zipf: f64,
+    seed: u64,
+    workers: usize,
+    cache_dir: Option<String>,
+    out: String,
+    addr: Option<String>,
+    restart: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            requests: 96,
+            rate: 200.0,
+            clients: 4,
+            zipf: 1.0,
+            seed: 0x10AD_4E4E,
+            workers: 4,
+            cache_dir: None,
+            out: "BENCH_serve.json".to_string(),
+            addr: None,
+            restart: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        let parse = |s: String| -> Result<usize, String> { s.parse().map_err(|e| format!("{e}")) };
+        match flag.as_str() {
+            "--requests" => args.requests = parse(value("--requests")?)?,
+            "--clients" => args.clients = parse(value("--clients")?)?.max(1),
+            "--workers" => args.workers = parse(value("--workers")?)?.max(1),
+            "--rate" => {
+                args.rate = value("--rate")?.parse().map_err(|e| format!("{e}"))?;
+                if args.rate <= 0.0 || !args.rate.is_finite() {
+                    return Err("--rate must be positive".to_string());
+                }
+            }
+            "--zipf" => args.zipf = value("--zipf")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
+            "--out" => args.out = value("--out")?,
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--restart" => args.restart = true,
+            "--help" | "-h" => {
+                return Err("usage: dmcp-loadgen [--requests N] [--rate RPS] [--clients N] \
+                     [--zipf S] [--seed S] [--workers N] [--cache-dir DIR] [--out PATH] \
+                     [--addr HOST:PORT] [--restart]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if args.restart && args.addr.is_some() {
+        return Err("--restart drives an in-process server; drop --addr".to_string());
+    }
+    if args.restart && args.cache_dir.is_none() {
+        return Err("--restart needs --cache-dir (the tier that must survive)".to_string());
+    }
+    Ok(args)
+}
+
+/// Zipf(s) over `n` ranks: weight of rank `k` (0-based) is `1/(k+1)^s`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf = Vec::with_capacity(n);
+    for k in 0..n {
+        acc += 1.0 / ((k + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    for w in &mut cdf {
+        *w /= acc;
+    }
+    cdf
+}
+
+fn draw(cdf: &[f64], u: f64) -> usize {
+    cdf.iter().position(|&c| u <= c).unwrap_or(cdf.len() - 1)
+}
+
+/// Outcome of one pass over the mix.
+struct PassReport {
+    label: String,
+    completed: usize,
+    errors: usize,
+    retries: u64,
+    wall_s: f64,
+    lat_p50_ms: f64,
+    lat_p99_ms: f64,
+    lat_max_ms: f64,
+    throughput: f64,
+    stats: ServeStats,
+}
+
+/// Runs `args.requests` open-loop requests against `addr`, drawing
+/// workloads zipf-skewed. `payloads` holds each workload's pre-encoded
+/// request bytes.
+fn run_pass(
+    addr: SocketAddr,
+    payloads: &[Vec<u8>],
+    args: &Args,
+    label: &str,
+) -> Result<PassReport, String> {
+    let cdf = zipf_cdf(payloads.len(), args.zipf);
+    let mut rng = Rng64::new(args.seed);
+    let picks: Vec<usize> = (0..args.requests).map(|_| draw(&cdf, rng.next_f64())).collect();
+
+    let t0 = Instant::now();
+    let per_thread: Vec<(Vec<(f64, bool)>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let picks = &picks;
+                let client_config =
+                    ClientConfig { seed: args.seed ^ (c as u64) << 32, ..ClientConfig::default() };
+                scope.spawn(move || {
+                    let mut client =
+                        PlanClient::connect(addr, client_config).expect("resolve addr");
+                    let mut out = Vec::new();
+                    for k in (c..picks.len()).step_by(args.clients) {
+                        // Open loop: request k is due at k/rate seconds.
+                        let due = t0 + Duration::from_secs_f64(k as f64 / args.rate);
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let ok = client.plan_bytes(&payloads[picks[k]]).is_ok();
+                        // Latency from the *scheduled* arrival: waiting in
+                        // line past the due time counts against the server.
+                        out.push((due.elapsed().as_secs_f64() * 1e3, ok));
+                    }
+                    (out, client.counters().retries)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let retries: u64 = per_thread.iter().map(|(_, r)| r).sum();
+    let mut lats: Vec<f64> = Vec::with_capacity(args.requests);
+    let mut errors = 0usize;
+    for (results, _) in &per_thread {
+        for &(lat_ms, ok) in results {
+            if ok {
+                lats.push(lat_ms);
+            } else {
+                errors += 1;
+            }
+        }
+    }
+    lats.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| -> f64 {
+        if lats.is_empty() {
+            return 0.0;
+        }
+        lats[((lats.len() - 1) as f64 * p).round() as usize]
+    };
+
+    // Server-side counters over the wire, proving the cache/disk story.
+    let mut probe = PlanClient::connect(addr, ClientConfig::default())
+        .map_err(|e| format!("stats client: {e}"))?;
+    let stats = probe.stats().map_err(|e| format!("stats request: {e}"))?;
+
+    Ok(PassReport {
+        label: label.to_string(),
+        completed: lats.len(),
+        errors,
+        retries,
+        wall_s,
+        lat_p50_ms: pct(0.50),
+        lat_p99_ms: pct(0.99),
+        lat_max_ms: lats.last().copied().unwrap_or(0.0),
+        throughput: if wall_s > 0.0 { lats.len() as f64 / wall_s } else { 0.0 },
+        stats,
+    })
+}
+
+fn render_json(args: &Args, passes: &[PassReport], warm_recompiles: Option<u64>) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"dmcp-loadgen open-loop\",\n");
+    out.push_str(&format!(
+        "  \"requests\": {}, \"rate_rps\": {:.1}, \"clients\": {}, \"zipf\": {:.2},\n",
+        args.requests, args.rate, args.clients, args.zipf
+    ));
+    if let Some(n) = warm_recompiles {
+        out.push_str(&format!("  \"warm_recompiles\": {n},\n"));
+    }
+    out.push_str("  \"passes\": [\n");
+    for (i, p) in passes.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"label\": \"{}\", \"completed\": {}, \"errors\": {}, ",
+                "\"retries\": {}, \"wall_s\": {:.6}, \"throughput_rps\": {:.3}, ",
+                "\"lat_p50_ms\": {:.4}, \"lat_p99_ms\": {:.4}, \"lat_max_ms\": {:.4}, ",
+                "\"compiles\": {}, \"cache_hits\": {}, \"disk_hits\": {}, ",
+                "\"disk_writes\": {}, \"rejected\": {}, \"timeouts\": {}}}{}\n",
+            ),
+            p.label,
+            p.completed,
+            p.errors,
+            p.retries,
+            p.wall_s,
+            p.throughput,
+            p.lat_p50_ms,
+            p.lat_p99_ms,
+            p.lat_max_ms,
+            p.stats.compiles,
+            p.stats.cache.hits,
+            p.stats.disk.hits,
+            p.stats.disk.writes,
+            p.stats.rejected,
+            p.stats.timeouts,
+            if i + 1 == passes.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn print_pass(p: &PassReport) {
+    println!(
+        "{:<6} completed={} errors={} retries={} p50={:.2}ms p99={:.2}ms max={:.2}ms \
+         rps={:.1} compiles={} cache_hits={} disk_hits={}",
+        p.label,
+        p.completed,
+        p.errors,
+        p.retries,
+        p.lat_p50_ms,
+        p.lat_p99_ms,
+        p.lat_max_ms,
+        p.throughput,
+        p.stats.compiles,
+        p.stats.cache.hits,
+        p.stats.disk.hits,
+    );
+}
+
+/// Builds an in-process server over `cache_dir`, returning the server,
+/// the service handle and the bound address.
+fn spawn_server(args: &Args) -> Result<(PlanServer, Arc<PlanService>, SocketAddr), String> {
+    let config = ServeConfig {
+        workers: args.workers,
+        disk_dir: args.cache_dir.clone().map(Into::into),
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(PlanService::try_new(config).map_err(|e| format!("service: {e}"))?);
+    let server = PlanServer::start(Arc::clone(&service), "127.0.0.1:0", NetConfig::default())
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    Ok((server, service, addr))
+}
+
+/// Stops an in-process server and gracefully drains its service.
+fn teardown(server: PlanServer, service: Arc<PlanService>) -> Result<(), String> {
+    server.stop();
+    let service =
+        Arc::try_unwrap(service).map_err(|_| "server still holds the service".to_string())?;
+    if !service.shutdown_within(Duration::from_secs(30)) {
+        return Err("service failed to drain within 30s".to_string());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Encode every workload's request once; the mix replays the bytes.
+    let payloads: Vec<Vec<u8>> = dmcp_workloads::all(Scale::Tiny)
+        .into_iter()
+        .map(|w| {
+            let req = PlanRequest::new(w.program, MachineConfig::knl_like(), <_>::default())
+                .with_data(w.data);
+            encode_request(&req)
+        })
+        .collect();
+    println!(
+        "dmcp-loadgen: {} requests at {:.0} req/s, {} clients, zipf {:.2}, 12 workloads",
+        args.requests, args.rate, args.clients, args.zipf
+    );
+
+    let outcome = match &args.addr {
+        Some(addr) => {
+            let addr: SocketAddr = match addr.parse() {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("bad --addr {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run_pass(addr, &payloads, &args, "run").map(|p| (vec![p], None))
+        }
+        None => run_in_process(&args, &payloads),
+    };
+
+    let (passes, warm_recompiles) = match outcome {
+        Ok(x) => x,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for p in &passes {
+        print_pass(p);
+    }
+    let json = render_json(&args, &passes, warm_recompiles);
+    if let Err(e) = std::fs::write(&args.out, json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+
+    if let Some(n) = warm_recompiles {
+        if n > 0 {
+            eprintln!("FAIL: warm restart recompiled {n} plans (durable tier must serve them)");
+            return ExitCode::FAILURE;
+        }
+        println!("warm restart served entirely from the durable tier (0 recompiles)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Hosts the server in-process. With `--restart`, runs cold + warm passes
+/// across a full server/service teardown and rebuild on the same cache
+/// directory, and reports how many plans the warm pass recompiled.
+fn run_in_process(
+    args: &Args,
+    payloads: &[Vec<u8>],
+) -> Result<(Vec<PassReport>, Option<u64>), String> {
+    let (server, service, addr) = spawn_server(args)?;
+    let cold = run_pass(addr, payloads, args, if args.restart { "cold" } else { "run" })?;
+    teardown(server, service)?;
+    if !args.restart {
+        return Ok((vec![cold], None));
+    }
+
+    // Restart: fresh process state, same cache directory. Zero compiles
+    // is the crash-safety acceptance bar.
+    let (server, service, addr) = spawn_server(args)?;
+    let warm = run_pass(addr, payloads, args, "warm")?;
+    let warm_recompiles = warm.stats.compiles;
+    teardown(server, service)?;
+    Ok((vec![cold, warm], Some(warm_recompiles)))
+}

@@ -1,21 +1,79 @@
-//! Replays a synthetic client mix against the plan service, cached and
-//! uncached, and reports throughput / latency / cache behaviour.
+//! The plan server / bench binary.
 //!
-//! ```text
-//! dmcp-serve [--requests N] [--clients N] [--workers N] [--seed S] [--out PATH]
-//! ```
+//! Two modes:
 //!
-//! Writes a machine-readable summary (including the cached-over-uncached
-//! speedup) to `--out` (default `BENCH_serve.json`).
+//! * **Bench (default)** — replays a synthetic client mix against the plan
+//!   service, cached and uncached, and reports throughput / latency /
+//!   cache behaviour:
+//!
+//!   ```text
+//!   dmcp-serve [--requests N] [--clients N] [--workers N] [--seed S] [--out PATH]
+//!   ```
+//!
+//!   Writes a machine-readable summary (including the cached-over-uncached
+//!   speedup) to `--out` (default `BENCH_serve.json`).
+//!
+//! * **Server** — listens on TCP, serving plan requests over the frame
+//!   protocol, optionally backed by the durable cache directory:
+//!
+//!   ```text
+//!   dmcp-serve --listen 127.0.0.1:7117 [--cache-dir DIR] [--workers N]
+//!              [--queue-depth N] [--io-timeout-ms N]
+//!   ```
+//!
+//!   SIGINT/SIGTERM trigger a graceful drain: stop accepting, finish
+//!   in-flight work, flush the durable tier, then exit.
 
 use dmcp_serve::mix::{render_json, render_table, run_comparison};
-use dmcp_serve::{MixConfig, ServeConfig};
+use dmcp_serve::{MixConfig, NetConfig, PlanServer, PlanService, ServeConfig};
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cooperative stop flag flipped by SIGINT/SIGTERM.
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    mod unix {
+        use std::sync::atomic::Ordering;
+
+        extern "C" fn on_signal(_signum: i32) {
+            super::STOP.store(true, Ordering::SeqCst);
+        }
+
+        extern "C" {
+            // `signal(2)` straight from libc — the workspace takes no
+            // external crates, and an AtomicBool store is async-signal-safe.
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+
+        pub fn install() {
+            const SIGINT: i32 = 2;
+            const SIGTERM: i32 = 15;
+            unsafe {
+                signal(SIGINT, on_signal as *const () as usize);
+                signal(SIGTERM, on_signal as *const () as usize);
+            }
+        }
+    }
+
+    #[cfg(unix)]
+    pub use unix::install;
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
 
 struct Args {
     mix: MixConfig,
     serve: ServeConfig,
     out: String,
+    listen: Option<String>,
+    io_timeout: Duration,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -23,6 +81,8 @@ fn parse_args() -> Result<Args, String> {
         mix: MixConfig::default(),
         serve: ServeConfig::default(),
         out: "BENCH_serve.json".to_string(),
+        listen: None,
+        io_timeout: Duration::from_secs(10),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -37,38 +97,91 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => {
                 args.serve.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?;
             }
+            "--queue-depth" => {
+                args.serve.queue_depth =
+                    value("--queue-depth")?.parse().map_err(|e| format!("{e}"))?;
+            }
             "--seed" => {
                 args.mix.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?;
             }
             "--out" => args.out = value("--out")?,
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--cache-dir" => args.serve.disk_dir = Some(value("--cache-dir")?.into()),
+            "--io-timeout-ms" => {
+                args.io_timeout = Duration::from_millis(
+                    value("--io-timeout-ms")?.parse().map_err(|e| format!("{e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 return Err("usage: dmcp-serve [--requests N] [--clients N] [--workers N] \
-                     [--seed S] [--out PATH]"
+                     [--seed S] [--out PATH]\n       dmcp-serve --listen ADDR [--cache-dir DIR] \
+                     [--workers N] [--queue-depth N] [--io-timeout-ms N]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
-    // The mix expects every request to be admitted: size the queue for the
-    // whole burst.
-    args.serve.queue_depth = args.mix.requests.max(1);
     Ok(args)
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
+fn serve_forever(args: &Args, addr: &str) -> ExitCode {
+    let service = match PlanService::try_new(args.serve.clone()) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("failed to start service: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(disk) = service.disk() {
+        let stats = disk.stats();
+        println!(
+            "durable tier: {} plans recovered from {} ({} torn bytes truncated)",
+            stats.recovered_records,
+            disk.dir().display(),
+            stats.truncated_bytes,
+        );
+    }
+    let net = NetConfig { io_timeout: args.io_timeout, ..NetConfig::default() };
+    let server = match PlanServer::start(Arc::clone(&service), addr, net) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    sig::install();
+    println!("dmcp-serve listening on {} ({} workers)", server.local_addr(), args.serve.workers);
 
+    while !sig::STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    println!("signal received: draining");
+    server.stop();
+    let service = Arc::try_unwrap(service).map_err(|_| ()).expect("server released the service");
+    let stats = service.stats();
+    let drained = service.shutdown_within(Duration::from_secs(30));
+    println!(
+        "drained={drained} submitted={} compiles={} cache_hits={} disk_hits={} disk_writes={}",
+        stats.submitted, stats.compiles, stats.cache.hits, stats.disk.hits, stats.disk.writes,
+    );
+    if drained {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_bench(args: &Args) -> ExitCode {
     println!(
         "dmcp-serve: {} requests, {} clients, {} workers, 12 workloads (tiny)",
         args.mix.requests, args.mix.clients, args.serve.workers
     );
-    let (cached, uncached) = run_comparison(&args.mix, &args.serve);
+    // The mix expects every request to be admitted: size the queue for the
+    // whole burst.
+    let mut serve = args.serve.clone();
+    serve.queue_depth = args.mix.requests.max(1);
+    let (cached, uncached) = run_comparison(&args.mix, &serve);
     let speedup =
         if uncached.throughput > 0.0 { cached.throughput / uncached.throughput } else { 0.0 };
 
@@ -83,4 +196,18 @@ fn main() -> ExitCode {
     }
     println!("wrote {}", args.out);
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match &args.listen {
+        Some(addr) => serve_forever(&args, &addr.clone()),
+        None => run_bench(&args),
+    }
 }

@@ -15,10 +15,20 @@
 //! * [`PlanService`] — a bounded-queue worker pool with single-flight
 //!   deduplication (concurrent requests for one key compile once),
 //!   per-key window-size memoization, typed admission control
-//!   ([`ServeError::QueueFull`]) and graceful draining shutdown;
+//!   ([`ServeError::QueueFull`], [`ServeError::Timeout`]) and graceful
+//!   draining shutdown ([`PlanService::shutdown_within`]);
+//! * [`DiskTier`] — a durable, append-only, checksummed on-disk plan
+//!   store behind the memory LRU; crash recovery truncates at most the
+//!   record being written when the process died;
+//! * [`wire`] / [`codec`] — the length-prefixed binary frame protocol and
+//!   the request/plan byte codec it carries;
+//! * [`PlanServer`] / [`PlanClient`] — the TCP front end (typed error
+//!   frames, per-connection deadlines, bounded handler pool) and a client
+//!   with connect/request timeouts and jittered-backoff retry;
 //! * [`mix`] — a synthetic client mix over the 12 paper workloads, used
 //!   by the `dmcp-serve` binary and the bench harness to measure the
-//!   cached-over-uncached speedup.
+//!   cached-over-uncached speedup (the open-loop network variant lives in
+//!   the `dmcp-loadgen` binary).
 //!
 //! # Quick start
 //!
@@ -38,14 +48,24 @@
 //! ```
 
 pub mod cache;
+pub mod client;
+pub mod codec;
+pub mod disk;
 pub mod key;
 pub mod mix;
+pub mod net;
 pub mod service;
+pub mod wire;
 
 pub use cache::{approx_plan_bytes, CacheStats, ShardedPlanCache};
+pub use client::{ClientConfig, ClientCounters, ClientError, PlanClient};
+pub use codec::CodecError;
+pub use disk::{DiskStats, DiskTier};
 pub use key::{PlanKey, PlanRequest};
 pub use mix::{run_client_mix, run_comparison, MixConfig, MixReport};
+pub use net::{NetConfig, PlanServer};
 pub use service::{PlanResult, PlanService, PlanTicket, ServeConfig, ServeError, ServeStats};
+pub use wire::{ErrorCode, WireError};
 
 /// Compile-time audit that everything the service moves across or shares
 /// between threads is `Send`/`Sync`. The partitioner and layout are

@@ -19,17 +19,20 @@
 //! workers drain what was admitted, and every outstanding ticket resolves.
 
 use crate::cache::{CacheStats, ShardedPlanCache};
+use crate::disk::{DiskStats, DiskTier, DEFAULT_SEGMENT_BYTES};
 use crate::key::{PlanKey, PlanRequest};
 use dmcp_core::{PartitionError, PartitionOutput, Partitioner};
 use dmcp_mach::FaultState;
 use dmcp_pool::{Pool, SubmitError, WorkerPool};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Service configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Worker threads compiling plans.
     pub workers: usize,
@@ -44,6 +47,16 @@ pub struct ServeConfig {
     /// Disabled only by the no-cache baseline, which wants every request
     /// to cost a full compile.
     pub single_flight: bool,
+    /// Directory for the durable plan tier ([`DiskTier`]); `None` runs
+    /// memory-only. Memory-cache misses fall through to disk before
+    /// compiling; compiles write through.
+    pub disk_dir: Option<PathBuf>,
+    /// Segment-rotation threshold for the disk tier.
+    pub disk_segment_bytes: u64,
+    /// Deadline for one ticket's wait on an in-flight compile; a wedged
+    /// compile surfaces as [`ServeError::Timeout`] instead of hanging
+    /// every duplicate request forever. `None` waits unboundedly.
+    pub wait_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +67,9 @@ impl Default for ServeConfig {
             cache_bytes: 64 << 20,
             cache_shards: 8,
             single_flight: true,
+            disk_dir: None,
+            disk_segment_bytes: DEFAULT_SEGMENT_BYTES,
+            wait_timeout: Some(Duration::from_secs(120)),
         }
     }
 }
@@ -63,18 +79,25 @@ impl Default for ServeConfig {
 pub enum ServeError {
     /// The bounded request queue is full — shed load and retry later.
     QueueFull,
+    /// A wait on an in-flight compile exceeded its deadline. The compile
+    /// may still finish and populate the cache; retrying is safe.
+    Timeout,
     /// The service has been shut down.
     ShuttingDown,
     /// The compile itself failed (invalid config, dead assignment, …).
     Compile(PartitionError),
+    /// The durable tier could not be opened.
+    Disk(String),
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::QueueFull => f.write_str("request queue is full"),
+            ServeError::Timeout => f.write_str("timed out waiting for an in-flight compile"),
             ServeError::ShuttingDown => f.write_str("service is shutting down"),
             ServeError::Compile(e) => write!(f, "compilation failed: {e}"),
+            ServeError::Disk(e) => write!(f, "durable tier unavailable: {e}"),
         }
     }
 }
@@ -113,12 +136,30 @@ impl Flight {
         self.cv.notify_all();
     }
 
-    fn wait(&self) -> PlanResult {
+    /// Waits for the flight to resolve, up to `timeout` (`None` waits
+    /// unboundedly). Elapsing the deadline is [`ServeError::Timeout`]; the
+    /// flight itself keeps running and may still populate the cache.
+    fn wait_deadline(&self, timeout: Option<Duration>) -> PlanResult {
         let mut done = self.done.lock().expect("flight poisoned");
+        let deadline = timeout.map(|t| Instant::now() + t);
         loop {
-            match &*done {
-                Some(r) => return r.clone(),
+            if let Some(r) = &*done {
+                return r.clone();
+            }
+            match deadline {
                 None => done = self.cv.wait(done).expect("flight poisoned"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(ServeError::Timeout);
+                    }
+                    let (next, timed_out) =
+                        self.cv.wait_timeout(done, deadline - now).expect("flight poisoned");
+                    done = next;
+                    if timed_out.timed_out() && done.is_none() {
+                        return Err(ServeError::Timeout);
+                    }
+                }
             }
         }
     }
@@ -128,6 +169,10 @@ impl Flight {
 /// the plan is ready (immediately for cache hits).
 pub struct PlanTicket {
     inner: TicketInner,
+    /// The service's configured wait deadline, applied by [`PlanTicket::wait`].
+    wait_timeout: Option<Duration>,
+    /// The service's timeout counter, bumped when a wait elapses.
+    timeouts: Arc<AtomicU64>,
 }
 
 enum TicketInner {
@@ -136,11 +181,38 @@ enum TicketInner {
 }
 
 impl PlanTicket {
-    /// Blocks until the compile resolves and returns the shared plan.
+    /// Blocks until the compile resolves and returns the shared plan,
+    /// bounded by the service's configured `wait_timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Timeout`] when the deadline elapses first; otherwise
+    /// whatever the compile resolved to.
     pub fn wait(self) -> PlanResult {
+        let timeout = self.wait_timeout;
+        self.wait_up_to(timeout)
+    }
+
+    /// [`PlanTicket::wait`] with an explicit deadline, overriding the
+    /// service default.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlanTicket::wait`].
+    pub fn wait_within(self, timeout: Duration) -> PlanResult {
+        self.wait_up_to(Some(timeout))
+    }
+
+    fn wait_up_to(self, timeout: Option<Duration>) -> PlanResult {
         match self.inner {
             TicketInner::Ready(plan) => Ok(plan),
-            TicketInner::Flight(f) => f.wait(),
+            TicketInner::Flight(f) => {
+                let result = f.wait_deadline(timeout);
+                if matches!(result, Err(ServeError::Timeout)) {
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                result
+            }
         }
     }
 
@@ -159,6 +231,9 @@ struct Job {
 
 struct Inner {
     cache: ShardedPlanCache,
+    /// The durable tier, when configured: probed on memory misses, written
+    /// through on compiles, flushed on shutdown.
+    disk: Option<DiskTier>,
     inflight: Mutex<HashMap<PlanKey, Arc<Flight>>>,
     /// Memoized per-nest window sizes by key: survives cache eviction (it
     /// is tiny), so a recompile of a known key skips the 1‥8 search sweep
@@ -169,6 +244,10 @@ struct Inner {
     shared: AtomicU64,
     submitted: AtomicU64,
     rejected: AtomicU64,
+    timeouts: Arc<AtomicU64>,
+    /// Cleared by shutdown before the drain: new submissions are refused
+    /// while admitted work finishes.
+    admitting: AtomicBool,
     single_flight: bool,
 }
 
@@ -225,6 +304,24 @@ fn compile_output(
 }
 
 impl Inner {
+    /// Probes memory, then disk. A disk hit is decoded, promoted into the
+    /// memory LRU and served; a payload that fails to decode is treated as
+    /// a miss (the caller recompiles — corruption degrades, never lies).
+    fn lookup(&self, key: PlanKey) -> Option<Arc<PartitionOutput>> {
+        if let Some(plan) = self.cache.get(key) {
+            return Some(plan);
+        }
+        let bytes = self.disk.as_ref()?.get(key)?;
+        match crate::codec::decode_plan(&bytes) {
+            Ok(out) => {
+                let plan = Arc::new(out);
+                self.cache.insert(key, Arc::clone(&plan));
+                Some(plan)
+            }
+            Err(_) => None,
+        }
+    }
+
     /// Compiles one request, reusing memoized window sizes when available.
     fn compile(&self, key: PlanKey, request: &PlanRequest) -> PlanResult {
         self.compiles.fetch_add(1, Ordering::Relaxed);
@@ -238,15 +335,21 @@ impl Inner {
         }
         let plan = Arc::new(out);
         self.cache.insert(key, Arc::clone(&plan));
+        if let Some(disk) = &self.disk {
+            // Write-through. An append failure only costs durability of
+            // this one plan (it stays served from memory); a partial
+            // append is the torn tail the next open truncates.
+            let _ = disk.put(key, &crate::codec::encode_plan(&plan));
+        }
         Ok(plan)
     }
 
     fn run_job(&self, job: Job) {
-        // The key may have landed in the cache while the job sat in the
-        // queue (an identical key re-submitted after this flight was
-        // registered goes through the flight, but a *different* service
-        // user may race the compile after an eviction).
-        let result = match self.cache.get(job.key) {
+        // The key may have landed in the cache (or on disk) while the job
+        // sat in the queue (an identical key re-submitted after this
+        // flight was registered goes through the flight, but a *different*
+        // service user may race the compile after an eviction).
+        let result = match self.lookup(job.key) {
             Some(plan) => Ok(plan),
             None => self.compile(job.key, &job.request),
         };
@@ -269,6 +372,10 @@ pub struct ServeStats {
     pub submitted: u64,
     /// Requests rejected with [`ServeError::QueueFull`].
     pub rejected: u64,
+    /// Ticket waits that elapsed their deadline ([`ServeError::Timeout`]).
+    pub timeouts: u64,
+    /// Durable-tier counters (all zero when no disk tier is configured).
+    pub disk: DiskStats,
 }
 
 /// The concurrent partition-plan compilation service.
@@ -278,24 +385,51 @@ pub struct ServeStats {
 pub struct PlanService {
     inner: Arc<Inner>,
     pool: WorkerPool,
+    wait_timeout: Option<Duration>,
 }
 
 impl PlanService {
     /// Spawns the worker pool and returns the service handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured disk tier cannot be opened — use
+    /// [`PlanService::try_new`] to handle that as a typed error.
     #[must_use]
     pub fn new(config: ServeConfig) -> Self {
+        Self::try_new(config).expect("disk tier open failed")
+    }
+
+    /// Spawns the worker pool, opening (and crash-recovering) the durable
+    /// tier when one is configured.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Disk`] when the configured `disk_dir` cannot be
+    /// opened or recovered.
+    pub fn try_new(config: ServeConfig) -> Result<Self, ServeError> {
+        let disk = match &config.disk_dir {
+            None => None,
+            Some(dir) => Some(
+                DiskTier::open_with_segment_bytes(dir, config.disk_segment_bytes)
+                    .map_err(|e| ServeError::Disk(e.to_string()))?,
+            ),
+        };
         let inner = Arc::new(Inner {
             cache: ShardedPlanCache::new(config.cache_shards, config.cache_bytes),
+            disk,
             inflight: Mutex::new(HashMap::new()),
             windows: Mutex::new(HashMap::new()),
             compiles: AtomicU64::new(0),
             shared: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            timeouts: Arc::new(AtomicU64::new(0)),
+            admitting: AtomicBool::new(true),
             single_flight: config.single_flight,
         });
         let pool = WorkerPool::new("dmcp-serve", config.workers, config.queue_depth);
-        Self { inner, pool }
+        Ok(Self { inner, pool, wait_timeout: config.wait_timeout })
     }
 
     /// Submits one request. Returns a ticket immediately; the compile (if
@@ -306,16 +440,19 @@ impl PlanService {
     /// [`ServeError::QueueFull`] when the bounded queue cannot admit the
     /// request, [`ServeError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, request: PlanRequest) -> Result<PlanTicket, ServeError> {
+        if !self.inner.admitting.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         let key = request.key();
-        if let Some(plan) = self.inner.cache.get(key) {
-            return Ok(PlanTicket { inner: TicketInner::Ready(plan) });
+        if let Some(plan) = self.inner.lookup(key) {
+            return Ok(self.ticket(TicketInner::Ready(plan)));
         }
         let mut inflight = self.inner.inflight.lock().expect("inflight poisoned");
         if self.inner.single_flight {
             if let Some(flight) = inflight.get(&key) {
                 self.inner.shared.fetch_add(1, Ordering::Relaxed);
-                return Ok(PlanTicket { inner: TicketInner::Flight(Arc::clone(flight)) });
+                return Ok(self.ticket(TicketInner::Flight(Arc::clone(flight))));
             }
         }
         let flight = Flight::new();
@@ -339,7 +476,15 @@ impl PlanService {
             }
             return Err(e);
         }
-        Ok(PlanTicket { inner: TicketInner::Flight(flight) })
+        Ok(self.ticket(TicketInner::Flight(flight)))
+    }
+
+    fn ticket(&self, inner: TicketInner) -> PlanTicket {
+        PlanTicket {
+            inner,
+            wait_timeout: self.wait_timeout,
+            timeouts: Arc::clone(&self.inner.timeouts),
+        }
     }
 
     /// Submit-and-wait convenience for synchronous callers.
@@ -413,6 +558,8 @@ impl PlanService {
             shared: self.inner.shared.load(Ordering::Relaxed),
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             rejected: self.inner.rejected.load(Ordering::Relaxed),
+            timeouts: self.inner.timeouts.load(Ordering::Relaxed),
+            disk: self.inner.disk.as_ref().map(DiskTier::stats).unwrap_or_default(),
         }
     }
 
@@ -421,11 +568,53 @@ impl PlanService {
         &self.inner.cache
     }
 
+    /// Direct access to the durable tier, when one is configured.
+    pub fn disk(&self) -> Option<&DiskTier> {
+        self.inner.disk.as_ref()
+    }
+
     /// Graceful shutdown: stops admitting, drains the queue, joins the
     /// workers. Every ticket handed out before the call still resolves.
     /// (Dropping the service does the same via the pool's own `Drop`.)
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
+        self.shutdown_within(Duration::from_secs(3600));
+    }
+
+    /// Graceful shutdown with an explicit drain deadline:
+    ///
+    /// 1. admission stops — new [`PlanService::submit`]s get
+    ///    [`ServeError::ShuttingDown`];
+    /// 2. admitted work drains, up to `deadline`;
+    /// 3. on a complete drain, the in-flight table is asserted empty
+    ///    (every flight resolved — no ticket is left hanging);
+    /// 4. the durable tier is fsynced and the workers are joined.
+    ///
+    /// Returns `true` when the drain completed within the deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a completed drain left entries in the in-flight table —
+    /// that would mean a ticket exists whose flight can never resolve,
+    /// which is exactly the bug this drain ordering exists to rule out.
+    pub fn shutdown_within(mut self, deadline: Duration) -> bool {
+        self.inner.admitting.store(false, Ordering::SeqCst);
+        let drained = self.pool.drain_within(deadline);
+        if drained {
+            let inflight = self.inner.inflight.lock().expect("inflight poisoned");
+            assert!(
+                inflight.is_empty(),
+                "drained queue left {} unresolved flights",
+                inflight.len()
+            );
+        }
+        if let Some(disk) = &self.inner.disk {
+            let _ = disk.sync();
+        }
+        // With the queue drained this joins the workers immediately; on a
+        // missed deadline it still waits for the wedged job — the bound
+        // applies to the drain, shutdown never abandons running threads.
         self.pool.close();
+        drained
     }
 }
 

@@ -1,0 +1,287 @@
+//! End-to-end tests for the crash-safe serving stack: server + client
+//! over real loopback TCP, adversarial raw-socket input, and durable-tier
+//! recovery across a full service restart (including a simulated crash
+//! that tears the last record).
+
+use dmcp::core::PartitionConfig;
+use dmcp::mach::rng::Rng64;
+use dmcp::mach::MachineConfig;
+use dmcp::serve::codec::encode_request;
+use dmcp::serve::wire::{
+    decode_error, read_frame, ErrorCode, FrameKind, WireError, FRAME_MAGIC, MAX_FRAME_BYTES,
+    WIRE_VERSION,
+};
+use dmcp::serve::{
+    ClientConfig, NetConfig, PlanClient, PlanRequest, PlanServer, PlanService, ServeConfig,
+};
+use dmcp::workloads::{all, by_name, Scale};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dmcp-net-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn request(name: &str) -> PlanRequest {
+    let w = by_name(name, Scale::Tiny).expect("known workload");
+    PlanRequest::new(w.program, MachineConfig::knl_like(), PartitionConfig::default())
+        .with_data(w.data)
+}
+
+/// Boots a service (durable tier at `dir`) and a loopback server.
+fn boot(dir: &Path, net: NetConfig) -> (PlanServer, Arc<PlanService>, SocketAddr) {
+    let config = ServeConfig { disk_dir: Some(dir.to_path_buf()), ..ServeConfig::default() };
+    let service = Arc::new(PlanService::try_new(config).expect("open durable tier"));
+    let server =
+        PlanServer::start(Arc::clone(&service), "127.0.0.1:0", net).expect("bind loopback");
+    let addr = server.local_addr();
+    (server, service, addr)
+}
+
+/// Stops the server and drains the service, asserting a clean drain.
+fn halt(server: PlanServer, service: Arc<PlanService>) {
+    server.stop();
+    let service = Arc::try_unwrap(service).ok().expect("server must release the service");
+    assert!(service.shutdown_within(Duration::from_secs(60)), "service must drain");
+}
+
+/// Full restart cycle over one cache directory: the warm server must
+/// answer every request bit-identically with zero recompiles, entirely
+/// from the durable tier and the memory LRU it repopulates.
+#[test]
+fn warm_restart_serves_bit_identical_plans_with_zero_recompiles() {
+    let dir = tmpdir("warm-restart");
+    let names = ["fft", "lu", "ocean", "barnes", "radix", "water"];
+
+    let (server, service, addr) = boot(&dir, NetConfig::default());
+    let mut client = PlanClient::connect(addr, ClientConfig::default()).expect("connect");
+    let cold: Vec<Vec<u8>> = names
+        .iter()
+        .map(|n| client.plan_bytes(&encode_request(&request(n))).expect("cold plan"))
+        .collect();
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.compiles, names.len() as u64, "each workload compiles once");
+    assert_eq!(stats.disk.writes, names.len() as u64, "every compile is written through");
+    halt(server, service);
+
+    // Fresh process state, same directory: only the disk remembers.
+    let (server, service, addr) = boot(&dir, NetConfig::default());
+    let mut client = PlanClient::connect(addr, ClientConfig::default()).expect("reconnect");
+    for (name, cold_bytes) in names.iter().zip(&cold) {
+        let warm = client.plan_bytes(&encode_request(&request(name))).expect("warm plan");
+        assert_eq!(&warm, cold_bytes, "{name}: warm plan must be bit-identical");
+    }
+    let stats = client.stats().expect("warm stats");
+    assert_eq!(stats.compiles, 0, "warm restart must not recompile anything");
+    assert_eq!(stats.disk.hits, names.len() as u64, "every warm plan comes off disk");
+    assert_eq!(stats.disk.recovered_records, names.len() as u64, "recovery indexes every record");
+    halt(server, service);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash that tears the record being written (simulated by truncating
+/// the segment tail) loses at most that one plan: the next boot serves
+/// the other N−1 from disk and recompiles only the torn one, still
+/// bit-identically.
+#[test]
+fn torn_tail_after_crash_loses_at_most_one_plan_end_to_end() {
+    let dir = tmpdir("torn-tail");
+    let names = ["fft", "lu", "ocean", "cholesky"];
+
+    let (server, service, addr) = boot(&dir, NetConfig::default());
+    let mut client = PlanClient::connect(addr, ClientConfig::default()).expect("connect");
+    let cold: Vec<Vec<u8>> = names
+        .iter()
+        .map(|n| client.plan_bytes(&encode_request(&request(n))).expect("cold plan"))
+        .collect();
+    halt(server, service);
+
+    // Tear the tail of the last segment mid-record, as a crash during the
+    // final append would.
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+        .collect();
+    segments.sort();
+    let last = segments.last().expect("at least one segment");
+    let len = std::fs::metadata(last).expect("metadata").len();
+    let file = std::fs::OpenOptions::new().write(true).open(last).expect("open segment");
+    file.set_len(len - 7).expect("tear the tail");
+
+    let (server, service, addr) = boot(&dir, NetConfig::default());
+    let mut client = PlanClient::connect(addr, ClientConfig::default()).expect("reconnect");
+    for (name, cold_bytes) in names.iter().zip(&cold) {
+        let warm = client.plan_bytes(&encode_request(&request(name))).expect("post-crash plan");
+        assert_eq!(&warm, cold_bytes, "{name}: post-crash plan must be bit-identical");
+    }
+    let stats = client.stats().expect("post-crash stats");
+    assert_eq!(stats.compiles, 1, "exactly the torn plan recompiles");
+    assert_eq!(stats.disk.hits, names.len() as u64 - 1, "the rest come off disk");
+    assert_eq!(
+        stats.disk.recovered_records,
+        names.len() as u64 - 1,
+        "recovery drops exactly the torn record"
+    );
+    halt(server, service);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Reads one frame with a deadline enforced by the socket read timeout.
+fn read_reply(stream: &mut TcpStream) -> Result<(FrameKind, Vec<u8>), WireError> {
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("read timeout");
+    read_frame(stream)
+}
+
+/// Byte soup on a raw socket: the server answers with a typed error
+/// frame (or closes cleanly) within its deadline, never hangs, and keeps
+/// serving well-formed clients afterwards.
+#[test]
+fn raw_garbage_gets_a_typed_error_and_does_not_wedge_the_server() {
+    let dir = tmpdir("garbage");
+    let net = NetConfig { io_timeout: Duration::from_millis(500), ..NetConfig::default() };
+    let (server, service, addr) = boot(&dir, net);
+
+    let mut rng = Rng64::new(0xBAD5_0C4E);
+    for round in 0..16 {
+        let mut stream = TcpStream::connect(addr).expect("connect raw");
+        let n = 1 + (rng.next_u64() % 64) as usize;
+        let soup: Vec<u8> = (0..n).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        stream.write_all(&soup).expect("write soup");
+        let started = Instant::now();
+        match read_reply(&mut stream) {
+            Ok((FrameKind::Error, payload)) => {
+                let (code, _) = decode_error(&payload);
+                assert!(
+                    matches!(code, ErrorCode::Malformed | ErrorCode::TooLarge),
+                    "round {round}: garbage must map to a malformed-class error, got {code:?}"
+                );
+            }
+            Ok((kind, _)) => panic!("round {round}: unexpected success frame {kind:?}"),
+            // Closed / timed out without an answer is also acceptable —
+            // but it must happen promptly, not hang.
+            Err(_) => {}
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "round {round}: server must answer or close promptly"
+        );
+    }
+
+    // The server is still healthy for a real client.
+    let mut client = PlanClient::connect(addr, ClientConfig::default()).expect("connect");
+    client.plan_bytes(&encode_request(&request("fft"))).expect("server still serves");
+    halt(server, service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A frame that declares a payload larger than the protocol ceiling is
+/// refused with `TooLarge` before any allocation happens.
+#[test]
+fn oversized_frame_length_is_refused_with_too_large() {
+    let dir = tmpdir("oversized");
+    let (server, service, addr) = boot(&dir, NetConfig::default());
+
+    let mut stream = TcpStream::connect(addr).expect("connect raw");
+    let mut header = Vec::new();
+    header.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    header.push(WIRE_VERSION);
+    header.push(1); // PlanRequest
+    header.extend_from_slice(&[0, 0]); // reserved
+    header.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+    stream.write_all(&header).expect("write header");
+
+    match read_reply(&mut stream) {
+        Ok((FrameKind::Error, payload)) => {
+            let (code, _) = decode_error(&payload);
+            assert_eq!(code, ErrorCode::TooLarge);
+        }
+        other => panic!("expected TooLarge error frame, got {other:?}"),
+    }
+    // The connection is closed after the framing error.
+    let mut rest = Vec::new();
+    let closed = stream.read_to_end(&mut rest);
+    assert!(closed.is_ok() && rest.is_empty(), "stream must be cleanly closed");
+
+    halt(server, service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A peer that sends a valid header then stalls mid-payload is cut off by
+/// the per-connection deadline; the handler pool does not stay pinned and
+/// honest clients keep getting answers while the staller waits.
+#[test]
+fn stalled_mid_frame_peer_is_disconnected_by_the_deadline() {
+    let dir = tmpdir("staller");
+    let net = NetConfig { io_timeout: Duration::from_millis(300), ..NetConfig::default() };
+    let (server, service, addr) = boot(&dir, net);
+
+    let mut stream = TcpStream::connect(addr).expect("connect raw");
+    // Valid header promising 1024 bytes of payload — then silence.
+    let mut header = Vec::new();
+    header.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    header.push(WIRE_VERSION);
+    header.push(1); // PlanRequest
+    header.extend_from_slice(&[0, 0]); // reserved
+    header.extend_from_slice(&1024_u32.to_le_bytes());
+    stream.write_all(&header).expect("write header");
+
+    // An honest client is served while the staller occupies a handler.
+    let mut client = PlanClient::connect(addr, ClientConfig::default()).expect("connect");
+    client.plan_bytes(&encode_request(&request("fft"))).expect("honest client served");
+
+    // The stalled connection is closed once the deadline passes.
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("read timeout");
+    let mut rest = Vec::new();
+    let outcome = stream.read_to_end(&mut rest);
+    assert!(outcome.is_ok(), "server must close the stalled connection, not hang it");
+
+    halt(server, service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent clients over TCP for every workload: single-flight and the
+/// cache keep compiles at one per distinct key even under fan-in.
+#[test]
+fn concurrent_tcp_clients_share_one_compile_per_key() {
+    let dir = tmpdir("fan-in");
+    let (server, service, addr) = boot(&dir, NetConfig::default());
+
+    let payloads: Vec<Vec<u8>> = all(Scale::Tiny)
+        .into_iter()
+        .map(|w| {
+            let req =
+                PlanRequest::new(w.program, MachineConfig::knl_like(), PartitionConfig::default())
+                    .with_data(w.data);
+            encode_request(&req)
+        })
+        .collect();
+    let distinct = payloads.len() as u64;
+
+    std::thread::scope(|scope| {
+        for c in 0..4 {
+            let payloads = &payloads;
+            scope.spawn(move || {
+                let config = ClientConfig { seed: 0xFA51_0000 + c, ..ClientConfig::default() };
+                let mut client = PlanClient::connect(addr, config).expect("connect");
+                for p in payloads {
+                    client.plan_bytes(p).expect("plan over tcp");
+                }
+            });
+        }
+    });
+
+    let mut client = PlanClient::connect(addr, ClientConfig::default()).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.compiles, distinct, "one compile per distinct key");
+    assert_eq!(stats.submitted, 4 * distinct, "every request was admitted");
+    halt(server, service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
