@@ -17,8 +17,8 @@ use dmcp::pool::Pool;
 use dmcp::sim::Scenario;
 use dmcp::workloads::{all, meta, Scale};
 use dmcp_bench::{
-    config_exec_time, data_mapping_comparison, evaluate_suite, geomean_reduction, scenario_report,
-    window_run, AppEval,
+    config_exec_time, data_mapping_comparison, evaluate_suite, gap_reports, geomean_reduction,
+    scenario_report, window_run, AppEval,
 };
 
 fn main() {
@@ -59,8 +59,10 @@ fn main() {
             fig22(scale);
             fig23(scale);
             fig24(scale);
+            gap(scale);
         }
         "setup" => setup(&evaluate_suite(scale), scale),
+        "gap" => gap(scale),
         "table1" => table1(&suite),
         "table2" => table2(&suite),
         "table3" => table3(&suite),
@@ -77,11 +79,29 @@ fn main() {
         "fig24" => fig24(scale),
         other => {
             eprintln!(
-                "unknown target `{other}`; use all, table1-3, fig13-fig24 \
+                "unknown target `{other}`; use all, table1-3, fig13-fig24, gap \
                  (options: --scale-tiny/--scale-full, --reuse-agnostic)"
             );
             std::process::exit(1);
         }
+    }
+}
+
+/// The optimality-gap dashboard: planner movement against the provable
+/// data-movement lower bound (`dmcp-bound`; the paper has no such figure —
+/// this quantifies how much of the remaining movement is compulsory).
+fn gap(scale: Scale) {
+    header("Optimality gap: planner movement vs data-movement lower bound");
+    println!("{:<10} {:>12} {:>12} {:>10} {:>8}", "app", "movement", "bound", "gap", "sound");
+    for g in gap_reports(scale) {
+        println!(
+            "{:<10} {:>12} {:>12} {:>9.2}x {:>8}",
+            g.name,
+            g.planner_movement,
+            g.bound,
+            g.gap_ratio(),
+            if g.sound() { "yes" } else { "NO" }
+        );
     }
 }
 

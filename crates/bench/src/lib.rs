@@ -5,6 +5,7 @@
 pub mod timing;
 
 use dmcp::baselines::{locality_assignment, preferred_mc_overrides};
+use dmcp::bound::{gap_report, GapReport};
 use dmcp::core::{OpMix, PartitionConfig, PartitionOutput, Partitioner, PlanOptions};
 use dmcp::mach::{ClusterMode, MachineConfig};
 use dmcp::mem::MemoryMode;
@@ -116,6 +117,30 @@ pub fn evaluate_suite_pooled(scale: Scale, pool: &Pool) -> Vec<AppEval> {
 /// Evaluates the full suite on the process-wide pool.
 pub fn evaluate_suite(scale: Scale) -> Vec<AppEval> {
     evaluate_suite_pooled(scale, Pool::global())
+}
+
+/// Plans one workload under `cfg` and pairs its per-nest movement with
+/// the `dmcp-bound` lower bound.
+pub fn gap_eval(w: &Workload, machine: &MachineConfig, cfg: PartitionConfig) -> GapReport {
+    let part = Partitioner::new(machine, &w.program, cfg);
+    let out = part.partition_with_data(&w.program, &w.data);
+    gap_report(w.name, &w.program, part.layout(), &w.data, part.config(), &out)
+}
+
+/// The optimality-gap dashboard over the full suite under the standard
+/// profile-guided configuration with `opts` planner knobs — one task per
+/// workload over `pool`, rows in suite order.
+pub fn gap_reports_pooled(scale: Scale, pool: &Pool, opts: PlanOptions) -> Vec<GapReport> {
+    let machine = MachineConfig::knl_like();
+    pool.map(&all(scale), |_, w| {
+        let cfg = PartitionConfig { opts, ..standard_config(w, &machine) };
+        gap_eval(w, &machine, cfg)
+    })
+}
+
+/// The optimality-gap dashboard on the process-wide pool.
+pub fn gap_reports(scale: Scale) -> Vec<GapReport> {
+    gap_reports_pooled(scale, Pool::global(), PlanOptions::default())
 }
 
 /// Execution time of one (cluster, memory, optimized?) configuration,

@@ -6,6 +6,7 @@
 //! reordering the sweep never perturbs another property's cases, and a
 //! reported seed reproduces its counterexample in isolation.
 
+use crate::boundprop::{check_bound_isometry, check_bound_rename, check_bound_sound};
 use crate::conform::{check_degraded, check_healthy};
 use crate::gencase::{gen_div_case, gen_mask_case, gen_wild_spec, shrink, CaseSpec};
 use crate::meta::{check_fault_monotonicity, check_isometry, check_lexer_total, check_rename};
@@ -277,6 +278,25 @@ fn sweep_seed(cfg: &CheckConfig, seed: u64) -> CheckReport {
             |s, _| check_spec_serve(s),
         );
     }
+    case_property(
+        &mut report,
+        cfg,
+        seed,
+        0x14,
+        "bound-sound",
+        |rng| gen_mask_case(rng, budget.min(160)),
+        |s, _| check_bound_sound(s),
+    );
+    case_property(
+        &mut report,
+        cfg,
+        seed,
+        0x15,
+        "bound-rename",
+        |rng| gen_mask_case(rng, budget.min(120)),
+        |s, _| check_bound_rename(s),
+    );
+    free_property(&mut report, cfg, seed, 0x16, "bound-isometry", check_bound_isometry);
     report
 }
 
@@ -293,7 +313,7 @@ mod tests {
             report.counterexamples
         );
         assert_eq!(report.seeds, 4);
-        assert!(report.runs >= 4 * 9);
+        assert!(report.runs >= 4 * 12);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`meta`] — metamorphic sweeps: variable renaming, mesh
 //!   translation/rotation of home-node sets, fault-plan route
 //!   monotonicity;
+//! * [`boundprop`] — the `dmcp-bound` lower bound never exceeds planner
+//!   movement (healthy and degraded), and is invariant under renaming and
+//!   mesh isometries;
 //! * [`digest`] — a stable plan fingerprint for golden-plan drift tests;
 //! * [`harness`] — the seeded driver tying it all together, with panic
 //!   capture and counterexample shrinking.
@@ -39,6 +42,7 @@
 //! assert!(report.counterexamples.is_empty());
 //! ```
 
+pub mod boundprop;
 pub mod conform;
 pub mod digest;
 pub mod gencase;

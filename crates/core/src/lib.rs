@@ -58,8 +58,8 @@ pub mod window;
 pub use error::PartitionError;
 pub use layout::{ElemInfo, Layout};
 pub use partitioner::{
-    chunked_assignment, chunked_assignment_over, NestPartition, PartitionConfig, PartitionOutput,
-    Partitioner,
+    chunked_assignment, chunked_assignment_over, nest_assignment, NestPartition, PartitionConfig,
+    PartitionOutput, Partitioner, PredictorSpec,
 };
 pub use pipeline::{passes, NestCtx, Pass, PlanCtx};
 pub use split::{HitPredictor, PlanOptions, Planner};

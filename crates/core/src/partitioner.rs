@@ -189,6 +189,13 @@ impl PartitionOutput {
         self.nests.iter().map(|n| n.stats.movement_default).sum()
     }
 
+    /// Per-nest optimized movement, as `(nest index, movement)` pairs in
+    /// program order. This is the accounting the optimality-gap dashboard
+    /// compares against the `dmcp-bound` lower bounds.
+    pub fn movement_by_nest(&self) -> Vec<(usize, u64)> {
+        self.nests.iter().map(|n| (n.nest, n.stats.movement_opt)).collect()
+    }
+
     /// Mean per-instance movement reduction across all nests.
     pub fn avg_movement_reduction(&self) -> f64 {
         let (mut sum, mut n) = (0.0, 0u64);
@@ -458,6 +465,28 @@ impl Partitioner {
             }
         }
         Ok(())
+    }
+}
+
+/// The iteration→core assignment one nest plans under: the explicit
+/// configured assignment if any, otherwise the chunked default over the
+/// mesh (healthy) or the layout's live nodes (degraded).
+///
+/// This is exactly what the pipeline's analyze pass resolves, factored out
+/// so external movement accounting — the `dmcp-bound` lower bounds — can
+/// replay the same instance→core stream the planner used.
+pub fn nest_assignment(
+    config: &PartitionConfig,
+    layout: &Layout,
+    mesh: Mesh,
+    iterations: u64,
+) -> Vec<NodeId> {
+    match &config.assignment {
+        Some(a) => a.clone(),
+        None => match layout.live_nodes() {
+            None => chunked_assignment(mesh, iterations),
+            Some(live) => chunked_assignment_over(live, iterations),
+        },
     }
 }
 

@@ -26,8 +26,7 @@
 
 use crate::layout::Layout;
 use crate::partitioner::{
-    chunked_assignment, chunked_assignment_over, NestPartition, PartitionConfig, PartitionOutput,
-    Partitioner,
+    nest_assignment, NestPartition, PartitionConfig, PartitionOutput, Partitioner,
 };
 use crate::window::{place_nest, sync_nest, NestPlan};
 use dmcp_ir::program::{DataStore, Program};
@@ -159,13 +158,7 @@ impl Pass for AnalyzePass {
         ctx.nests = (0..ctx.program.nests().len())
             .map(|n| {
                 let iters = ctx.program.nests()[n].iteration_count();
-                let assignment = match &ctx.config.assignment {
-                    Some(a) => a.clone(),
-                    None => match ctx.layout.live_nodes() {
-                        None => chunked_assignment(ctx.machine.mesh, iters),
-                        Some(live) => chunked_assignment_over(live, iters),
-                    },
-                };
+                let assignment = nest_assignment(ctx.config, ctx.layout, ctx.machine.mesh, iters);
                 let window = if ctx.force_default {
                     Some(1)
                 } else if let Some(w) = ctx.config.fixed_window {

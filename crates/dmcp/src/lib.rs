@@ -23,6 +23,31 @@
 //! | [`pool`] | `dmcp-pool` | deterministic fork-join thread pool shared by planner, serve, check |
 //! | [`serve`] | `dmcp-serve` | plan compilation service: content-addressed cache, worker pool |
 //! | [`check`] | `dmcp-check` | property-testing harness: generators, oracles, shrinking, goldens |
+//! | [`hash`] | `dmcp-hash` | shared stable-hash primitives: FNV-1a, splitmix64 finalizer |
+//! | [`bound`] | `dmcp-bound` | data-movement lower bounds and the optimality-gap dashboard |
+//!
+//! # How close to optimal?
+//!
+//! The [`bound`] module computes a provable per-nest *lower bound* on data
+//! movement and reports the planner's distance from it:
+//!
+//! ```
+//! use dmcp::bound::gap_report;
+//! use dmcp::core::{PartitionConfig, Partitioner};
+//! use dmcp::mach::MachineConfig;
+//! use dmcp::workloads::{by_name, Scale};
+//!
+//! let w = by_name("fft", Scale::Tiny).expect("known workload");
+//! let machine = MachineConfig::knl_like();
+//! let partitioner = Partitioner::new(&machine, &w.program, PartitionConfig::default());
+//! let optimized = partitioner.partition_with_data(&w.program, &w.data);
+//!
+//! let gap = gap_report(
+//!     w.name, &w.program, partitioner.layout(), &w.data, partitioner.config(), &optimized,
+//! );
+//! assert!(gap.sound()); // movement can never drop below the bound
+//! assert!(gap.gap_ratio() >= 1.0); // 1.0 would mean provably optimal
+//! ```
 //!
 //! # Quick start
 //!
@@ -45,8 +70,10 @@
 //! ```
 
 pub use dmcp_baselines as baselines;
+pub use dmcp_bound as bound;
 pub use dmcp_check as check;
 pub use dmcp_core as core;
+pub use dmcp_hash as hash;
 pub use dmcp_ir as ir;
 pub use dmcp_mach as mach;
 pub use dmcp_mem as mem;

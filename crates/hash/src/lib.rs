@@ -1,0 +1,121 @@
+//! Shared stable-hash primitives.
+//!
+//! Three other crates used to carry private copies of the same two
+//! integer-mixing kernels:
+//!
+//! * **FNV-1a 64** — the byte fold behind `dmcp-ir`'s structural
+//!   fingerprints and the checksum on `dmcp-serve`'s wire frames and disk
+//!   records;
+//! * **splitmix64** — the avalanche finalizer behind `dmcp-mach`'s RNG and
+//!   fingerprint accumulator and `dmcp-pool`'s per-task seed streams.
+//!
+//! This crate is the single definition both kernels live in. It sits at the
+//! very bottom of the dependency graph (no dependencies, no consumers it
+//! couldn't have), and every former copy re-exports from here, so the
+//! outputs are bit-identical to the historical ones — the golden plan
+//! digests and `PlanKey` digests in `dmcp-check::golden` pin that.
+
+/// 64-bit FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// 64-bit FNV-1a prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The splitmix64 golden-gamma increment.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A streaming FNV-1a 64 fold.
+///
+/// # Examples
+///
+/// ```
+/// use dmcp_hash::{fnv1a64, Fnv64};
+///
+/// let mut h = Fnv64::new();
+/// h.write(b"abc");
+/// assert_eq!(h.finish(), fnv1a64(b"abc"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh fold at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64 over a byte slice. Not cryptographic; it detects
+/// truncation and corruption, which is all its callers need.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// The splitmix64 finalizer: a stateless avalanche mix of one `u64`
+/// (adds [`GOLDEN_GAMMA`], then avalanches).
+///
+/// Used directly (without an RNG object) wherever a pure function of a
+/// key must look random and be independent of call order: fault-model
+/// drop schedules, fingerprint accumulators, per-task seed derivation.
+#[must_use]
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(GOLDEN_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"hello ");
+        h.write(b"world");
+        assert_eq!(h.finish(), fnv1a64(b"hello world"));
+    }
+
+    #[test]
+    fn mix_avalanches_and_is_pure() {
+        assert_ne!(mix(0), mix(1));
+        assert_eq!(mix(12345), mix(12345));
+        // Pin the historical output so any constant drift is loud.
+        assert_eq!(mix(0), 0xE220_A839_7B1D_CDAF);
+    }
+}

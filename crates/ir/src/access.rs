@@ -100,6 +100,54 @@ impl AffineExpr {
     pub fn is_constant(&self) -> bool {
         self.terms.is_empty()
     }
+
+    /// Inclusive `(min, max)` of the expression over an iteration box:
+    /// `ranges[d]` is the half-open `lo..hi` range of the depth-`d` loop
+    /// variable (a [`crate::program::LoopDim`]). Variables beyond the box
+    /// evaluate as 0, matching [`AffineExpr::eval`]. Computed in 128-bit
+    /// arithmetic and saturated to `i64`, so extreme coefficients report a
+    /// conservative (full-range) answer instead of a wrapped one.
+    pub fn bounds_over(&self, ranges: &[(i64, i64)]) -> (i64, i64) {
+        let mut lo = i128::from(self.c0);
+        let mut hi = i128::from(self.c0);
+        for &(v, c) in &self.terms {
+            let (vlo, vhi) = match ranges.get(v.depth()) {
+                Some(&(a, b)) if a < b => (i128::from(a), i128::from(b) - 1),
+                _ => (0, 0),
+            };
+            let (a, b) = (i128::from(c) * vlo, i128::from(c) * vhi);
+            lo += a.min(b);
+            hi += a.max(b);
+        }
+        (
+            lo.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64,
+            hi.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64,
+        )
+    }
+
+    /// Upper bound on the number of *distinct* values the expression takes
+    /// over the iteration box (same conventions as
+    /// [`AffineExpr::bounds_over`]): the smaller of the value span and the
+    /// number of iteration points the participating variables enumerate.
+    /// Exact for the single-variable strides the workloads use.
+    pub fn distinct_over(&self, ranges: &[(i64, i64)]) -> u64 {
+        let mut points = 1u128;
+        let mut varies = false;
+        for &(v, _) in &self.terms {
+            if let Some(&(a, b)) = ranges.get(v.depth()) {
+                if a < b {
+                    varies = true;
+                    points = points.saturating_mul((b - a) as u128);
+                }
+            }
+        }
+        if !varies {
+            return 1;
+        }
+        let (lo, hi) = self.bounds_over(ranges);
+        let span = (i128::from(hi) - i128::from(lo) + 1) as u128;
+        u64::try_from(points.min(span)).unwrap_or(u64::MAX)
+    }
 }
 
 /// One subscript of an array reference.
@@ -160,6 +208,29 @@ impl ArrayRef {
     /// model references the paper's compiler could not disambiguate).
     pub fn mark_unanalyzable(&mut self) {
         self.analyzable = false;
+    }
+
+    /// Upper bound on the number of distinct index tuples the reference
+    /// touches over an iteration box (`ranges[d]` = half-open `lo..hi` of
+    /// the depth-`d` loop variable): the product of each affine
+    /// subscript's [`AffineExpr::distinct_over`]. `None` for indirect
+    /// references, whose footprint is data-dependent.
+    ///
+    /// This is the static "distinct footprint" term of the compulsory
+    /// lower-bound construction (`dmcp-bound`); subscript wrapping into
+    /// the array extents downstream can only merge tuples, so the product
+    /// stays an upper bound on touched elements.
+    pub fn footprint_over(&self, ranges: &[(i64, i64)]) -> Option<u64> {
+        let mut total = 1u128;
+        for idx in &self.indices {
+            match idx {
+                IndexExpr::Affine(a) => {
+                    total = total.saturating_mul(u128::from(a.distinct_over(ranges)));
+                }
+                IndexExpr::Indirect(_) => return None,
+            }
+        }
+        Some(u64::try_from(total).unwrap_or(u64::MAX))
     }
 
     /// All references contained in this one, including itself and any
@@ -243,6 +314,43 @@ mod tests {
         assert_eq!(refs.len(), 2);
         assert_eq!(refs[0].array, ArrayId(0));
         assert_eq!(refs[1].array, ArrayId(1));
+    }
+
+    #[test]
+    fn bounds_over_tracks_signs_and_missing_vars() {
+        // 3 + 2*i - j over i ∈ 0..4, j ∈ 1..3 → min 3+0-2=1, max 3+6-1=8.
+        let e = AffineExpr::constant(3).plus_term(v(0), 2).plus_term(v(1), -1);
+        assert_eq!(e.bounds_over(&[(0, 4), (1, 3)]), (1, 8));
+        // A variable beyond the box evaluates as 0, like eval().
+        let f = AffineExpr::constant(5).plus_term(v(3), 7);
+        assert_eq!(f.bounds_over(&[(0, 4)]), (5, 5));
+        // Extreme coefficients saturate instead of wrapping.
+        let g = AffineExpr::constant(0).plus_term(v(0), i64::MAX);
+        assert_eq!(g.bounds_over(&[(-2, 3)]).0, i64::MIN);
+        assert_eq!(g.bounds_over(&[(-2, 3)]).1, i64::MAX);
+    }
+
+    #[test]
+    fn distinct_over_is_exact_for_strides() {
+        // i over 0..10: 10 distinct values.
+        assert_eq!(AffineExpr::var(v(0)).distinct_over(&[(0, 10)]), 10);
+        // 4*i over 0..10: still 10 (span 37 but only 10 points).
+        let strided = AffineExpr::constant(0).plus_term(v(0), 4);
+        assert_eq!(strided.distinct_over(&[(0, 10)]), 10);
+        // i + j over i,j ∈ 0..4: span 0..=6 → 7 < 16 points.
+        let sum = AffineExpr::var(v(0)).plus_term(v(1), 1);
+        assert_eq!(sum.distinct_over(&[(0, 4), (0, 4)]), 7);
+        // Constants take one value.
+        assert_eq!(AffineExpr::constant(9).distinct_over(&[(0, 100)]), 1);
+    }
+
+    #[test]
+    fn footprint_over_multiplies_subscripts_and_rejects_indirect() {
+        let r = ArrayRef::affine(ArrayId(0), vec![AffineExpr::var(v(0)), AffineExpr::var(v(1))]);
+        assert_eq!(r.footprint_over(&[(0, 8), (0, 3)]), Some(24));
+        let inner = ArrayRef::affine(ArrayId(1), vec![AffineExpr::var(v(0))]);
+        let ind = ArrayRef::new(ArrayId(0), vec![IndexExpr::Indirect(Box::new(inner))]);
+        assert_eq!(ind.footprint_over(&[(0, 8)]), None);
     }
 
     #[test]

@@ -20,13 +20,14 @@
 use crate::access::{AffineExpr, ArrayRef, IndexExpr};
 use crate::expr::Expr;
 use crate::program::{ArrayDecl, DataStore, LoopDim, LoopNest, Program, Statement};
-
-/// 64-bit FNV-1a offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// 64-bit FNV-1a prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+use dmcp_hash::Fnv64;
 
 /// A streaming FNV-1a hasher with stable, platform-independent output.
+///
+/// The byte fold itself is the shared [`dmcp_hash::Fnv64`] primitive; this
+/// wrapper adds the typed `write_*` encodings (little-endian integers,
+/// bit-pattern floats, length prefixes) the structural hashes are defined
+/// in terms of.
 ///
 /// # Examples
 ///
@@ -41,7 +42,7 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// ```
 #[derive(Clone, Debug)]
 pub struct StableHasher {
-    state: u64,
+    state: Fnv64,
 }
 
 impl Default for StableHasher {
@@ -54,15 +55,12 @@ impl StableHasher {
     /// A fresh hasher at the FNV-1a offset basis.
     #[must_use]
     pub fn new() -> Self {
-        Self { state: FNV_OFFSET }
+        Self { state: Fnv64::new() }
     }
 
     /// Folds raw bytes into the state.
     pub fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state ^= u64::from(b);
-            self.state = self.state.wrapping_mul(FNV_PRIME);
-        }
+        self.state.write(bytes);
     }
 
     /// Folds a `u64` (little-endian bytes).
@@ -100,7 +98,7 @@ impl StableHasher {
     /// The current hash value.
     #[must_use]
     pub fn finish(&self) -> u64 {
-        self.state
+        self.state.finish()
     }
 }
 

@@ -1,0 +1,331 @@
+//! Exact graph kernels over the mesh metric: MST and Steiner minima.
+//!
+//! Promoted out of `dmcp-check`'s oracle so every consumer — the oracle
+//! itself, the `dmcp-bound` lower bounds, and any future Steiner placement
+//! pass — shares one validated implementation instead of a copy.
+//!
+//! Two families live here:
+//!
+//! * point kernels ([`mst_weight`], [`steiner_min`]) over a plain terminal
+//!   list, exactly as the oracle has always used them;
+//! * *group* kernels ([`mst_weight_sets`], [`steiner_min_sets`],
+//!   [`max_pairwise_sets`]) over terminal **option sets**: each terminal
+//!   may sit at any one node of its set, and the kernel minimises over the
+//!   choices. `dmcp-bound` uses these because a planned operand's paid
+//!   source is one of a small believed-location set (home bank or memory
+//!   controller) that the bound must not guess.
+//!
+//! With singleton sets the group kernels degenerate to the point kernels —
+//! the unit tests pin that.
+
+use crate::mesh::Mesh;
+use crate::node::NodeId;
+
+/// Kruskal/Prim-equivalent MST weight over a terminal multiset under
+/// Manhattan distance (independent of `dmcp_core::mst` — this is the
+/// oracle's own arithmetic).
+pub fn mst_weight(terminals: &[NodeId]) -> u64 {
+    let n = terminals.len();
+    if n <= 1 {
+        return 0;
+    }
+    let mut in_tree = vec![false; n];
+    let mut key = vec![u32::MAX; n];
+    key[0] = 0;
+    let mut total = 0u64;
+    for _ in 0..n {
+        let v = (0..n).filter(|&v| !in_tree[v]).min_by_key(|&v| key[v]).expect("a vertex remains");
+        in_tree[v] = true;
+        total += u64::from(key[v]);
+        for u in 0..n {
+            if !in_tree[u] {
+                let d = terminals[v].manhattan(terminals[u]);
+                if d < key[u] {
+                    key[u] = d;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Exact minimum Steiner-tree weight connecting `terminals` on `mesh`
+/// (Dreyfus–Wagner over the mesh's metric closure). Terminals are
+/// deduplicated; at most 15 distinct terminals are supported.
+pub fn steiner_min(mesh: &Mesh, terminals: &[NodeId]) -> u64 {
+    let mut ts: Vec<Vec<NodeId>> = Vec::new();
+    for &t in terminals {
+        if !ts.iter().any(|g| g[0] == t) {
+            ts.push(vec![t]);
+        }
+    }
+    steiner_min_sets(mesh, &ts)
+}
+
+/// Exact minimum *group* Steiner-tree weight on `mesh`: the cheapest tree
+/// touching at least one node of every option set, i.e. the minimum over
+/// all per-set choices of [`steiner_min`] of the chosen points.
+///
+/// Dreyfus–Wagner with the group initialisation `dp[{i}][v] =
+/// min_{t ∈ set_i} d(t, v)`; a single metric-closure pass per mask is
+/// exact because Manhattan distance satisfies the triangle inequality
+/// over the full node set. Identical sets are deduplicated (they don't
+/// change the optimum); at most 15 distinct sets are supported.
+///
+/// # Panics
+///
+/// Panics on an empty option set or more than 15 distinct sets.
+pub fn steiner_min_sets(mesh: &Mesh, sets: &[Vec<NodeId>]) -> u64 {
+    let mut groups: Vec<&Vec<NodeId>> = Vec::new();
+    for s in sets {
+        assert!(!s.is_empty(), "terminal option set must be non-empty");
+        if !groups.contains(&s) {
+            groups.push(s);
+        }
+    }
+    let t = groups.len();
+    if t <= 1 {
+        return 0;
+    }
+    assert!(t <= 15, "too many distinct terminals for the DP");
+    let nodes: Vec<NodeId> = mesh.nodes().collect();
+    let n = nodes.len();
+    let full: usize = (1 << t) - 1;
+    const INF: u64 = u64::MAX / 4;
+    let mut dp = vec![vec![INF; n]; full + 1];
+    for (i, group) in groups.iter().enumerate() {
+        for (v, node) in nodes.iter().enumerate() {
+            dp[1 << i][v] = group
+                .iter()
+                .map(|t| u64::from(t.manhattan(*node)))
+                .min()
+                .expect("non-empty option set");
+        }
+    }
+    for mask in 1..=full {
+        if mask.count_ones() >= 2 {
+            // dp rows for several masks are read while this one is written,
+            // so an iterator over dp[mask] alone cannot express the merge.
+            #[allow(clippy::needless_range_loop)]
+            for v in 0..n {
+                let mut best = dp[mask][v];
+                let mut sub = (mask - 1) & mask;
+                while sub > 0 {
+                    let other = mask ^ sub;
+                    if sub <= other {
+                        let cand = dp[sub][v].saturating_add(dp[other][v]);
+                        if cand < best {
+                            best = cand;
+                        }
+                    }
+                    sub = (sub - 1) & mask;
+                }
+                dp[mask][v] = best;
+            }
+        }
+        // Propagate through the metric closure. A single pass is exact
+        // because Manhattan distance already satisfies the triangle
+        // inequality over the full node set.
+        let snapshot: Vec<u64> = dp[mask].clone();
+        for v in 0..n {
+            let mut best = dp[mask][v];
+            for (u, du) in snapshot.iter().enumerate() {
+                let cand = du.saturating_add(u64::from(nodes[u].manhattan(nodes[v])));
+                if cand < best {
+                    best = cand;
+                }
+            }
+            dp[mask][v] = best;
+        }
+    }
+    dp[full].iter().copied().min().expect("mesh has nodes")
+}
+
+/// MST weight over terminal option sets under the *set* distance
+/// `d(S, T) = min_{a ∈ S, b ∈ T} manhattan(a, b)`.
+///
+/// A lower bound on the minimum over per-set choices of [`mst_weight`] of
+/// the chosen points: any chosen spanning tree's edges are each at least
+/// the corresponding set distance.
+///
+/// # Panics
+///
+/// Panics on an empty option set.
+pub fn mst_weight_sets(sets: &[Vec<NodeId>]) -> u64 {
+    let n = sets.len();
+    if n <= 1 {
+        return 0;
+    }
+    let dist = |a: &[NodeId], b: &[NodeId]| -> u32 {
+        let mut best = u32::MAX;
+        for &x in a {
+            for &y in b {
+                best = best.min(x.manhattan(y));
+            }
+        }
+        best
+    };
+    let mut in_tree = vec![false; n];
+    let mut key = vec![u32::MAX; n];
+    key[0] = 0;
+    let mut total = 0u64;
+    for _ in 0..n {
+        let v = (0..n).filter(|&v| !in_tree[v]).min_by_key(|&v| key[v]).expect("a vertex remains");
+        in_tree[v] = true;
+        total += u64::from(key[v]);
+        for u in 0..n {
+            if !in_tree[u] {
+                assert!(!sets[v].is_empty() && !sets[u].is_empty(), "empty option set");
+                let d = dist(&sets[v], &sets[u]);
+                if d < key[u] {
+                    key[u] = d;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// The largest pairwise set distance: `max_{i<j} min_{a ∈ S_i, b ∈ S_j}
+/// manhattan(a, b)`. Any connected structure touching one node of every
+/// set has total length at least this.
+pub fn max_pairwise_sets(sets: &[Vec<NodeId>]) -> u64 {
+    let mut best = 0u64;
+    for i in 0..sets.len() {
+        for j in i + 1..sets.len() {
+            let mut d = u32::MAX;
+            for &a in &sets[i] {
+                for &b in &sets[j] {
+                    d = d.min(a.manhattan(b));
+                }
+            }
+            if d != u32::MAX {
+                best = best.max(u64::from(d));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    fn pick_node(rng: &mut Rng64, mesh: &Mesh) -> NodeId {
+        let nodes: Vec<NodeId> = mesh.nodes().collect();
+        nodes[rng.gen_range(nodes.len() as u64) as usize]
+    }
+
+    #[test]
+    fn steiner_never_exceeds_mst() {
+        let mut rng = Rng64::new(5);
+        let mesh = Mesh::new(3, 3);
+        for _ in 0..50 {
+            let k = 2 + rng.gen_range(4) as usize;
+            let terms: Vec<NodeId> = (0..k).map(|_| pick_node(&mut rng, &mesh)).collect();
+            let s = steiner_min(&mesh, &terms);
+            let m = mst_weight(&terms);
+            assert!(s <= m, "steiner {s} > mst {m} for {terms:?}");
+            // The MST 3/2-approximation bound (loose form): mst ≤ 2·steiner.
+            assert!(m <= 2 * s.max(1) || s == 0, "mst {m} > 2·steiner {s}");
+        }
+    }
+
+    #[test]
+    fn steiner_of_corners_uses_a_steiner_point() {
+        // Four corners of a 3×3 mesh: MST = 3 edges of weight 2 = 6 by
+        // pairing corners; the Steiner tree through the centre costs 8? No:
+        // corners are (0,0),(2,0),(0,2),(2,2); centre star = 4·2 = 8, MST
+        // = 2+2+2... along edges = 6. Check the DP finds ≤ MST.
+        let mesh = Mesh::new(3, 3);
+        let corners = [NodeId::new(0, 0), NodeId::new(2, 0), NodeId::new(0, 2), NodeId::new(2, 2)];
+        let s = steiner_min(&mesh, &corners);
+        let m = mst_weight(&corners);
+        assert!(s <= m);
+        assert_eq!(m, 6);
+        assert_eq!(s, 6); // on a grid the corner set has no better Steiner tree
+    }
+
+    #[test]
+    fn mst_weight_handles_duplicates_and_singletons() {
+        let a = NodeId::new(1, 1);
+        assert_eq!(mst_weight(&[]), 0);
+        assert_eq!(mst_weight(&[a]), 0);
+        assert_eq!(mst_weight(&[a, a, a]), 0);
+        assert_eq!(mst_weight(&[a, NodeId::new(1, 3)]), 2);
+    }
+
+    #[test]
+    fn singleton_sets_degenerate_to_point_kernels() {
+        let mut rng = Rng64::new(17);
+        for (cols, rows) in [(2u16, 2u16), (3, 2), (3, 3)] {
+            let mesh = Mesh::new(cols, rows);
+            for _ in 0..20 {
+                let k = 2 + rng.gen_range(4) as usize;
+                let terms: Vec<NodeId> = (0..k).map(|_| pick_node(&mut rng, &mesh)).collect();
+                let sets: Vec<Vec<NodeId>> = terms.iter().map(|&t| vec![t]).collect();
+                assert_eq!(steiner_min_sets(&mesh, &sets), steiner_min(&mesh, &terms));
+                assert_eq!(mst_weight_sets(&sets), mst_weight(&terms));
+            }
+        }
+    }
+
+    #[test]
+    fn group_steiner_matches_brute_force_over_choices() {
+        let mut rng = Rng64::new(23);
+        let mesh = Mesh::new(3, 3);
+        for _ in 0..25 {
+            let k = 2 + rng.gen_range(2) as usize; // 2..=3 groups
+            let sets: Vec<Vec<NodeId>> = (0..k)
+                .map(|_| {
+                    let opts = 1 + rng.gen_range(2) as usize; // 1..=2 options
+                    (0..opts).map(|_| pick_node(&mut rng, &mesh)).collect()
+                })
+                .collect();
+            // Brute force: min over every per-set choice of the exact
+            // point-Steiner minimum.
+            let mut idx = vec![0usize; k];
+            let mut brute = u64::MAX;
+            loop {
+                let chosen: Vec<NodeId> = idx.iter().zip(&sets).map(|(&i, s)| s[i]).collect();
+                brute = brute.min(steiner_min(&mesh, &chosen));
+                let mut d = 0;
+                loop {
+                    if d == k {
+                        break;
+                    }
+                    idx[d] += 1;
+                    if idx[d] < sets[d].len() {
+                        break;
+                    }
+                    idx[d] = 0;
+                    d += 1;
+                }
+                if d == k {
+                    break;
+                }
+            }
+            assert_eq!(steiner_min_sets(&mesh, &sets), brute, "sets {sets:?}");
+        }
+    }
+
+    #[test]
+    fn set_kernels_bound_each_other() {
+        // group Steiner ≥ set-MST/2 and ≥ max pairwise set distance.
+        let mut rng = Rng64::new(31);
+        let mesh = Mesh::new(3, 3);
+        for _ in 0..40 {
+            let k = 2 + rng.gen_range(3) as usize;
+            let sets: Vec<Vec<NodeId>> = (0..k)
+                .map(|_| {
+                    let opts = 1 + rng.gen_range(2) as usize;
+                    (0..opts).map(|_| pick_node(&mut rng, &mesh)).collect()
+                })
+                .collect();
+            let s = steiner_min_sets(&mesh, &sets);
+            assert!(s >= max_pairwise_sets(&sets));
+            assert!(2 * s >= mst_weight_sets(&sets));
+        }
+    }
+}

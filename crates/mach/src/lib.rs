@@ -22,6 +22,8 @@
 //!   the fault model's drop schedule;
 //! - [`symmetry`] — the Manhattan-distance-preserving mesh relabellings the
 //!   metamorphic test sweeps are built on;
+//! - [`graph`] — exact MST/Steiner kernels over the mesh metric (shared by
+//!   the `dmcp-check` oracle and the `dmcp-bound` lower bounds);
 //! - [`fingerprint`] — stable machine/fault fingerprints for the serving
 //!   layer's plan cache.
 //!
@@ -41,6 +43,7 @@ pub mod cluster;
 pub mod config;
 pub mod fault;
 pub mod fingerprint;
+pub mod graph;
 pub mod mesh;
 pub mod node;
 pub mod rng;

@@ -11,14 +11,10 @@
 ///
 /// Used directly (without an RNG object) to derive per-link, per-attempt
 /// drop decisions in the fault model — a pure function of
-/// `(seed, link, attempt)` that is independent of call order.
-#[must_use]
-pub fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// `(seed, link, attempt)` that is independent of call order. The
+/// definition lives in the shared `dmcp-hash` crate; this re-export keeps
+/// the historical path every caller already uses.
+pub use dmcp_hash::mix;
 
 /// A seeded splitmix64 generator.
 ///
@@ -43,13 +39,13 @@ impl Rng64 {
         Self { state: seed }
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value: `mix` of the pre-increment state (the
+    /// stream splitmix64 defines — bit-identical to the former inline
+    /// arithmetic).
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        let out = mix(self.state);
+        self.state = self.state.wrapping_add(dmcp_hash::GOLDEN_GAMMA);
+        out
     }
 
     /// Uniform value in `[0, 1)` with 53 bits of precision.

@@ -189,19 +189,13 @@ impl Default for Pool {
 
 /// Derives the seed for task `index` of a pooled run from `seed0`
 /// (splitmix64 finalizer over the pair). A pure function of the inputs,
-/// so streams are identical whatever thread count runs the tasks.
+/// so streams are identical whatever thread count runs the tasks. The
+/// finalizer is the shared [`dmcp_hash::mix`] — the same function
+/// `dmcp_mach::rng::mix` re-exports.
 #[must_use]
 pub fn task_seed(seed0: u64, index: u64) -> u64 {
-    splitmix(seed0 ^ splitmix(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
-}
-
-/// The splitmix64 finalizer (same constants as `dmcp_mach::rng::mix`;
-/// duplicated so this crate stays at the bottom of the dependency graph).
-fn splitmix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    use dmcp_hash::{mix, GOLDEN_GAMMA};
+    mix(seed0 ^ mix(index.wrapping_mul(GOLDEN_GAMMA)))
 }
 
 /// Typed admission errors for [`WorkerPool::try_submit`].

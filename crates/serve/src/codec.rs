@@ -79,16 +79,9 @@ impl std::error::Error for CodecError {}
 
 /// FNV-1a over a byte slice — the checksum used by wire frames and disk
 /// records. Not cryptographic; it detects truncation and corruption, which
-/// is all the crash-safety story needs.
-#[must_use]
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// is all the crash-safety story needs. The fold itself is the shared
+/// `dmcp-hash` primitive; this re-export keeps the historical path.
+pub use dmcp_hash::fnv1a64;
 
 /// Little-endian byte writer.
 #[derive(Default)]
