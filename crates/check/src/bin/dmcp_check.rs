@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dmcp-check [--seeds N] [--seed0 S] [--budget N] [--orders N]
-//!            [--serve-every N] [--threads N] [--out PATH]
+//!            [--serve-every N] [--threads N] [--out PATH] [--only SUBSTR]
 //! ```
 //!
 //! Exits nonzero if any property produced a counterexample. Writes a
@@ -47,9 +47,11 @@ fn parse_args() -> Result<Args, String> {
                 args.threads = Some(value("--threads")?.parse().map_err(|e| format!("{e}"))?);
             }
             "--out" => args.out = value("--out")?,
+            "--only" => args.cfg.only = Some(value("--only")?),
             "--help" | "-h" => {
                 return Err("usage: dmcp-check [--seeds N] [--seed0 S] [--budget N] \
-                     [--orders N] [--serve-every N] [--threads N] [--out PATH]"
+                     [--orders N] [--serve-every N] [--threads N] [--out PATH] \
+                     [--only SUBSTR]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),

@@ -1,0 +1,355 @@
+//! Crash-consistency properties of the durable plan tier.
+//!
+//! * **Crash prefix** — for a generated scenario of puts, a clean run
+//!   over [`FaultyIo`] measures which mutating-operation span each put
+//!   occupies; the scenario is then re-run once per write boundary with a
+//!   simulated crash at exactly that operation (the in-flight write torn
+//!   to a seeded prefix, everything later dead). Reopening the surviving
+//!   bytes must recover *exactly the committed prefix*: every put that
+//!   finished before the crash comes back bit-identical, no put that
+//!   started after the crash exists, the put in flight at the crash is
+//!   either absent or bit-identical (never torn), and the reopened tier
+//!   accepts new writes. Failures shrink to a minimal scenario.
+//! * **Degrade/restore** — a fault storm mid-scenario must flip the tier
+//!   to memory-only without surfacing a single error to callers; lifting
+//!   the storm must let a re-probe restore the tier, drain the parked
+//!   writes, and leave a reopened tier holding every record.
+
+use dmcp_mach::rng::{mix, Rng64};
+use dmcp_serve::{DiskTier, FaultyIo, MemIo, PlanKey};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A re-probe interval that never fires within a test run: crashed runs
+/// must stay dead, clean runs must count the same ops every time.
+const NO_REPROBE: Duration = Duration::from_secs(100_000);
+
+/// One generated crash workload: distinct-key puts with seeded payloads.
+#[derive(Clone, Debug)]
+pub struct CrashScenario {
+    /// Seed for payload bytes and the injector's torn-prefix lengths.
+    pub seed: u64,
+    /// Segment-rotation threshold (small values force rotations).
+    pub segment_bytes: u64,
+    /// Payload length of each put, in order.
+    pub payload_lens: Vec<usize>,
+}
+
+impl fmt::Display for CrashScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={:#x} segment_bytes={} payload_lens={:?}",
+            self.seed, self.segment_bytes, self.payload_lens
+        )
+    }
+}
+
+/// Generates a scenario: 2..=8 puts of 1..=120 bytes, over one of three
+/// segment sizes (the smallest rotates every couple of records).
+pub fn gen_crash_scenario(rng: &mut Rng64) -> CrashScenario {
+    let n = 2 + rng.gen_range(7) as usize;
+    let segment_bytes = [192, 1 << 10, 1 << 20][rng.gen_range(3) as usize];
+    let payload_lens = (0..n).map(|_| 1 + rng.gen_range(120) as usize).collect();
+    CrashScenario { seed: rng.next_u64(), segment_bytes, payload_lens }
+}
+
+fn key(n: u64) -> PlanKey {
+    PlanKey { program: mix(n + 1), machine: mix(n ^ 0xA5), config: mix(n ^ 0x5A), faults: mix(n) }
+}
+
+/// Deterministic payload bytes for put `i` of a scenario.
+fn payload(seed: u64, i: usize, len: usize) -> Vec<u8> {
+    let mut rng = Rng64::new(mix(seed ^ ((i as u64) << 20) ^ 0x9A7_10AD));
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// What the clean (fault-free) run of a scenario measured.
+struct CleanRun {
+    /// Mutating ops consumed by `open` alone.
+    ops_after_open: u64,
+    /// Mutating ops consumed by the whole scenario.
+    total_ops: u64,
+    /// The `[start, end)` mutating-op span of each put.
+    spans: Vec<(u64, u64)>,
+}
+
+fn clean_run(s: &CrashScenario) -> Result<CleanRun, String> {
+    let mem = MemIo::new();
+    let faulty = FaultyIo::new(Arc::new(Arc::clone(&mem)), s.seed);
+    let chaos = faulty.chaos();
+    let tier = DiskTier::open_with_io("/crash", s.segment_bytes, NO_REPROBE, Arc::new(faulty))
+        .map_err(|e| format!("clean open: {e}"))?;
+    let ops_after_open = chaos.ops();
+    let mut spans = Vec::with_capacity(s.payload_lens.len());
+    for (i, &len) in s.payload_lens.iter().enumerate() {
+        let start = chaos.ops();
+        tier.put(key(i as u64), &payload(s.seed, i, len))
+            .map_err(|e| format!("clean put {i}: {e}"))?;
+        spans.push((start, chaos.ops()));
+    }
+    if tier.stats().degraded {
+        return Err("clean run degraded with no fault armed".into());
+    }
+    Ok(CleanRun { ops_after_open, total_ops: chaos.ops(), spans })
+}
+
+/// Replays the scenario with a crash at mutating op `c`, reopens the
+/// surviving bytes, and demands the committed prefix — nothing torn,
+/// nothing from the future, nothing committed lost.
+fn crash_at_op(s: &CrashScenario, clean: &CleanRun, c: u64) -> Result<(), String> {
+    let mem = MemIo::new();
+    let faulty = FaultyIo::new(Arc::new(Arc::clone(&mem)), s.seed);
+    let chaos = faulty.chaos();
+    let tier = DiskTier::open_with_io("/crash", s.segment_bytes, NO_REPROBE, Arc::new(faulty))
+        .map_err(|e| format!("open before crash at {c}: {e}"))?;
+    chaos.crash_at(c);
+    for (i, &len) in s.payload_lens.iter().enumerate() {
+        // Degradation contract: even with the disk dying mid-put, the
+        // caller never sees an error (the record parks in memory).
+        tier.put(key(i as u64), &payload(s.seed, i, len))
+            .map_err(|e| format!("put {i} surfaced an error under crash at {c}: {e}"))?;
+    }
+    if !chaos.crashed() {
+        return Err(format!("crash armed at {c} never fired ({} ops total)", chaos.ops()));
+    }
+    drop(tier);
+
+    // The "restarted process": reopen whatever bytes survived, fault-free.
+    let reopened =
+        DiskTier::open_with_io("/crash", s.segment_bytes, NO_REPROBE, Arc::new(Arc::clone(&mem)))
+            .map_err(|e| format!("reopen after crash at {c}: {e}"))?;
+    for (i, &len) in s.payload_lens.iter().enumerate() {
+        let (start, end) = clean.spans[i];
+        let want = payload(s.seed, i, len);
+        let got = reopened.get(key(i as u64));
+        if end <= c {
+            match got {
+                Some(p) if p == want => {}
+                Some(_) => {
+                    return Err(format!(
+                        "crash at {c}: committed put {i} (span {start}..{end}) \
+                         came back with different bytes"
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "crash at {c}: committed put {i} (span {start}..{end}) lost"
+                    ));
+                }
+            }
+        } else if start <= c {
+            // In flight at the crash: may survive only bit-identically
+            // (the torn prefix happened to complete the record).
+            if let Some(p) = got {
+                if p != want {
+                    return Err(format!(
+                        "crash at {c}: in-flight put {i} surfaced torn or wrong bytes"
+                    ));
+                }
+            }
+        } else if got.is_some() {
+            return Err(format!(
+                "crash at {c}: put {i} (span {start}..{end}) survived \
+                 though it started after the crash"
+            ));
+        }
+    }
+    // Recovery must leave a writable tier.
+    let fresh = key(0xF00D + s.payload_lens.len() as u64);
+    reopened.put(fresh, b"post-crash write").map_err(|e| format!("post-crash put: {e}"))?;
+    if reopened.stats().degraded {
+        return Err(format!("crash at {c}: reopened tier degraded on a healthy disk"));
+    }
+    if reopened.get(fresh).as_deref() != Some(&b"post-crash write"[..]) {
+        return Err(format!("crash at {c}: post-crash write unreadable"));
+    }
+    Ok(())
+}
+
+/// Runs the full every-write-boundary crash sweep for one scenario.
+///
+/// # Errors
+///
+/// The first violated boundary, as a message naming the crash op.
+pub fn check_crash_consistency(s: &CrashScenario) -> Result<(), String> {
+    let clean = clean_run(s)?;
+    for c in clean.ops_after_open..clean.total_ops {
+        crash_at_op(s, &clean, c)?;
+    }
+    Ok(())
+}
+
+/// Greedy scenario shrinker: drop puts, then halve payloads, as long as
+/// the sweep still fails.
+fn shrink_scenario(s: &CrashScenario, attempts: u32) -> CrashScenario {
+    let fails = |cand: &CrashScenario| check_crash_consistency(cand).is_err();
+    let mut best = s.clone();
+    let mut left = attempts;
+    loop {
+        let mut improved = false;
+        for i in 0..best.payload_lens.len() {
+            if left == 0 || best.payload_lens.len() <= 1 {
+                break;
+            }
+            let mut cand = best.clone();
+            cand.payload_lens.remove(i);
+            left -= 1;
+            if fails(&cand) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+        for i in 0..best.payload_lens.len() {
+            if left == 0 {
+                break;
+            }
+            if best.payload_lens[i] > 1 {
+                let mut cand = best.clone();
+                cand.payload_lens[i] /= 2;
+                left -= 1;
+                if fails(&cand) {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved || left == 0 {
+            return best;
+        }
+    }
+}
+
+/// Generates one scenario and sweeps a crash over every write boundary;
+/// a violation is shrunk before reporting.
+///
+/// # Errors
+///
+/// The violation message plus the minimal scenario that reproduces it.
+pub fn check_crash_prefix(rng: &mut Rng64, shrink_attempts: u32) -> Result<(), String> {
+    let scenario = gen_crash_scenario(rng);
+    match check_crash_consistency(&scenario) {
+        Ok(()) => Ok(()),
+        Err(first) => {
+            let small = shrink_scenario(&scenario, shrink_attempts);
+            let message = check_crash_consistency(&small).err().unwrap_or(first);
+            Err(format!("{message}\nscenario: {small}"))
+        }
+    }
+}
+
+/// A fault storm mid-scenario must degrade the tier without surfacing a
+/// single caller-visible error; lifting it must restore the tier, drain
+/// the parked writes, and leave every record durable.
+///
+/// # Errors
+///
+/// A message naming the violated stage.
+pub fn check_degrade_restore(rng: &mut Rng64) -> Result<(), String> {
+    let seed = rng.next_u64();
+    let before = 1 + rng.gen_range(4) as usize;
+    let during = 1 + rng.gen_range(4) as usize;
+    let total = before + during;
+    let lens: Vec<usize> = (0..total).map(|_| 1 + rng.gen_range(96) as usize).collect();
+
+    let mem = MemIo::new();
+    let faulty = FaultyIo::new(Arc::new(Arc::clone(&mem)), seed);
+    let chaos = faulty.chaos();
+    let tier = DiskTier::open_with_io("/degrade", 1 << 16, Duration::ZERO, Arc::new(faulty))
+        .map_err(|e| format!("open: {e}"))?;
+    for (i, &len) in lens.iter().enumerate().take(before) {
+        tier.put(key(i as u64), &payload(seed, i, len))
+            .map_err(|e| format!("healthy put {i}: {e}"))?;
+    }
+
+    chaos.set_storm(true);
+    for (i, &len) in lens.iter().enumerate().skip(before) {
+        tier.put(key(i as u64), &payload(seed, i, len))
+            .map_err(|e| format!("storm put {i} surfaced an error: {e}"))?;
+    }
+    let stats = tier.stats();
+    if !stats.degraded {
+        return Err("storm did not degrade the tier".into());
+    }
+    if stats.errors == 0 {
+        return Err("degraded tier counted no disk errors".into());
+    }
+    if stats.pending_records as usize != during {
+        return Err(format!(
+            "expected {during} parked records during the storm, found {}",
+            stats.pending_records
+        ));
+    }
+
+    chaos.set_storm(false);
+    let stats = tier.stats(); // a stats poll is a re-probe opportunity
+    if stats.degraded {
+        return Err("re-probe did not restore the tier after the storm".into());
+    }
+    if stats.pending_records != 0 {
+        return Err(format!("{} records still parked after restore", stats.pending_records));
+    }
+    for (i, &len) in lens.iter().enumerate() {
+        if tier.get(key(i as u64)).as_deref() != Some(&payload(seed, i, len)[..]) {
+            return Err(format!("record {i} unreadable after restore"));
+        }
+    }
+    drop(tier);
+
+    let reopened =
+        DiskTier::open_with_io("/degrade", 1 << 16, Duration::ZERO, Arc::new(Arc::clone(&mem)))
+            .map_err(|e| format!("reopen: {e}"))?;
+    if reopened.len() != total {
+        return Err(format!(
+            "reopen found {} records, expected {total} (storm writes not durable)",
+            reopened.len()
+        ));
+    }
+    for (i, &len) in lens.iter().enumerate() {
+        if reopened.get(key(i as u64)).as_deref() != Some(&payload(seed, i, len)[..]) {
+            return Err(format!("record {i} wrong after reopen"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_prefix_holds_over_a_sweep() {
+        let mut rng = Rng64::new(31);
+        for _ in 0..4 {
+            check_crash_prefix(&mut rng, 100).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn degrade_restore_holds_over_a_sweep() {
+        let mut rng = Rng64::new(32);
+        for _ in 0..6 {
+            check_degrade_restore(&mut rng).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn clean_run_spans_are_disjoint_and_ordered() {
+        let mut rng = Rng64::new(33);
+        let s = gen_crash_scenario(&mut rng);
+        let clean = clean_run(&s).expect("clean run");
+        let mut prev = clean.ops_after_open;
+        for &(start, end) in &clean.spans {
+            assert!(start >= prev, "span starts before the previous ended");
+            assert!(end > start, "every put costs at least one mutating op");
+            prev = end;
+        }
+        assert_eq!(prev, clean.total_ops);
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::boundprop::{check_bound_isometry, check_bound_rename, check_bound_sound};
 use crate::conform::{check_degraded, check_healthy};
+use crate::crashprop::{check_crash_prefix, check_degrade_restore};
 use crate::gencase::{gen_div_case, gen_mask_case, gen_wild_spec, shrink, CaseSpec};
 use crate::meta::{check_fault_monotonicity, check_isometry, check_lexer_total, check_rename};
 use crate::oracle::check_oracle_case;
@@ -33,6 +34,10 @@ pub struct CheckConfig {
     pub serve_every: u64,
     /// Shrinking attempt budget per counterexample.
     pub shrink_attempts: u32,
+    /// Run only properties whose name contains this substring (e.g.
+    /// `"crash"` for the crash-consistency fuzzer alone). `None` runs
+    /// everything.
+    pub only: Option<String>,
 }
 
 impl Default for CheckConfig {
@@ -44,7 +49,15 @@ impl Default for CheckConfig {
             orders: 2,
             serve_every: 8,
             shrink_attempts: 400,
+            only: None,
         }
+    }
+}
+
+impl CheckConfig {
+    /// Whether the property filter admits `property`.
+    fn wants(&self, property: &str) -> bool {
+        self.only.as_ref().is_none_or(|needle| property.contains(needle.as_str()))
     }
 }
 
@@ -109,6 +122,9 @@ fn case_property<G, C>(
     G: FnOnce(&mut Rng64) -> CaseSpec,
     C: Fn(&CaseSpec, &mut Rng64) -> Result<(), String>,
 {
+    if !cfg.wants(property) {
+        return;
+    }
     report.runs += 1;
     let mut rng = stream(cfg, seed, salt);
     let spec = generate(&mut rng);
@@ -143,6 +159,9 @@ fn free_property<F>(
 ) where
     F: FnOnce(&mut Rng64) -> Result<(), String>,
 {
+    if !cfg.wants(property) {
+        return;
+    }
     report.runs += 1;
     let mut rng = stream(cfg, seed, salt);
     if let Err(message) = guarded(|| f(&mut rng)) {
@@ -297,6 +316,11 @@ fn sweep_seed(cfg: &CheckConfig, seed: u64) -> CheckReport {
         |s, _| check_bound_rename(s),
     );
     free_property(&mut report, cfg, seed, 0x16, "bound-isometry", check_bound_isometry);
+    let shrink_attempts = cfg.shrink_attempts;
+    free_property(&mut report, cfg, seed, 0x17, "crash-prefix", |rng| {
+        check_crash_prefix(rng, shrink_attempts)
+    });
+    free_property(&mut report, cfg, seed, 0x18, "crash-degrade", check_degrade_restore);
     report
 }
 

@@ -26,6 +26,11 @@
 //! * [`boundprop`] — the `dmcp-bound` lower bound never exceeds planner
 //!   movement (healthy and degraded), and is invariant under renaming and
 //!   mesh isometries;
+//! * [`crashprop`] — crash-consistency fuzzing of the durable plan tier:
+//!   a deterministic fault injector crashes the store at every write
+//!   boundary, the reopened tier must recover exactly the committed
+//!   prefix, and a fault storm must degrade to memory-only and restore
+//!   without losing a record;
 //! * [`digest`] — a stable plan fingerprint for golden-plan drift tests;
 //! * [`harness`] — the seeded driver tying it all together, with panic
 //!   capture and counterexample shrinking.
@@ -44,6 +49,7 @@
 
 pub mod boundprop;
 pub mod conform;
+pub mod crashprop;
 pub mod digest;
 pub mod gencase;
 pub mod golden;

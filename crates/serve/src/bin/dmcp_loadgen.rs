@@ -12,7 +12,7 @@
 //! ```text
 //! dmcp-loadgen [--requests N] [--rate RPS] [--clients N] [--zipf S]
 //!              [--seed S] [--workers N] [--cache-dir DIR] [--out PATH]
-//!              [--addr HOST:PORT] [--restart]
+//!              [--addr HOST:PORT] [--restart] [--chaos]
 //! ```
 //!
 //! Without `--addr`, the generator hosts an in-process server on
@@ -20,13 +20,26 @@
 //! then against a *fresh* server and service rebuilt over the same cache
 //! directory — and exits nonzero if the warm pass recompiled anything:
 //! the durable tier must serve a restart entirely from disk.
+//!
+//! `--chaos` (in-process only) runs the fault-injection acceptance drill:
+//! the service's disk tier rides a seeded [`FaultyIo`] over an in-memory
+//! store, and client traffic is routed through a [`ChaosProxy`] that
+//! corrupts, truncates, splits and delays response frames. Mid-run every
+//! disk op starts failing (a storm); the run demands that **every**
+//! response that arrives matches an independently compiled reference plan
+//! bit for bit, that the tier degrades to memory-only instead of failing
+//! requests, and that it recovers (drains its parked writes) once the
+//! storm lifts. Error rate, retry counts and the measured recovery time
+//! land in a `"chaos"` section of `BENCH_serve.json`; wrong plans, an
+//! unrecovered tier or undrained writes exit nonzero.
 
+use dmcp_ir::ProgramBuilder;
 use dmcp_mach::rng::Rng64;
 use dmcp_mach::MachineConfig;
-use dmcp_serve::codec::encode_request;
+use dmcp_serve::codec::{decode_plan, encode_request};
 use dmcp_serve::{
-    ClientConfig, NetConfig, PlanClient, PlanRequest, PlanServer, PlanService, ServeConfig,
-    ServeStats,
+    ChaosAction, ChaosProxy, ClientConfig, FaultyIo, MemIo, NetConfig, PlanClient, PlanRequest,
+    PlanServer, PlanService, ServeConfig, ServeStats, StorageIo,
 };
 use dmcp_workloads::Scale;
 use std::net::SocketAddr;
@@ -45,6 +58,7 @@ struct Args {
     out: String,
     addr: Option<String>,
     restart: bool,
+    chaos: bool,
 }
 
 impl Default for Args {
@@ -60,6 +74,7 @@ impl Default for Args {
             out: "BENCH_serve.json".to_string(),
             addr: None,
             restart: false,
+            chaos: false,
         }
     }
 }
@@ -86,10 +101,11 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = value("--out")?,
             "--addr" => args.addr = Some(value("--addr")?),
             "--restart" => args.restart = true,
+            "--chaos" => args.chaos = true,
             "--help" | "-h" => {
                 return Err("usage: dmcp-loadgen [--requests N] [--rate RPS] [--clients N] \
                      [--zipf S] [--seed S] [--workers N] [--cache-dir DIR] [--out PATH] \
-                     [--addr HOST:PORT] [--restart]"
+                     [--addr HOST:PORT] [--restart] [--chaos]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -100,6 +116,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.restart && args.cache_dir.is_none() {
         return Err("--restart needs --cache-dir (the tier that must survive)".to_string());
+    }
+    if args.chaos && args.addr.is_some() {
+        return Err("--chaos drives an in-process server; drop --addr".to_string());
+    }
+    if args.chaos && args.restart {
+        return Err("--chaos and --restart are separate drills; pick one".to_string());
     }
     Ok(args)
 }
@@ -219,6 +241,62 @@ fn run_pass(
     })
 }
 
+/// Outcome of the `--chaos` drill.
+struct ChaosOutcome {
+    requests: usize,
+    wrong_plans: usize,
+    failed_requests: usize,
+    retries: u64,
+    attempts: u64,
+    backoff_ms: f64,
+    degraded_observed: bool,
+    recovered: bool,
+    recovery_ms: f64,
+    disk_errors: u64,
+    quarantined_segments: u64,
+    pending_after: u64,
+    proxy_connections: u64,
+    proxy_flipped: u64,
+    proxy_dropped: u64,
+}
+
+impl ChaosOutcome {
+    /// The acceptance bar: no wrong plan ever surfaced, the storm was
+    /// actually felt, and the tier came back with nothing parked.
+    fn passed(&self) -> bool {
+        self.wrong_plans == 0 && self.degraded_observed && self.recovered && self.pending_after == 0
+    }
+
+    fn render_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n  \"benchmark\": \"dmcp-loadgen chaos\",\n",
+                "  \"chaos\": {{\"requests\": {}, \"wrong_plans\": {}, ",
+                "\"failed_requests\": {}, \"retries\": {}, \"attempts\": {}, ",
+                "\"backoff_ms\": {:.3}, \"degraded_observed\": {}, \"recovered\": {}, ",
+                "\"recovery_ms\": {:.3}, \"disk_errors\": {}, \"quarantined_segments\": {}, ",
+                "\"pending_after\": {}, \"proxy_connections\": {}, \"proxy_flipped\": {}, ",
+                "\"proxy_dropped\": {}}}\n}}\n",
+            ),
+            self.requests,
+            self.wrong_plans,
+            self.failed_requests,
+            self.retries,
+            self.attempts,
+            self.backoff_ms,
+            self.degraded_observed,
+            self.recovered,
+            self.recovery_ms,
+            self.disk_errors,
+            self.quarantined_segments,
+            self.pending_after,
+            self.proxy_connections,
+            self.proxy_flipped,
+            self.proxy_dropped,
+        )
+    }
+}
+
 fn render_json(args: &Args, passes: &[PassReport], warm_recompiles: Option<u64>) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"dmcp-loadgen open-loop\",\n");
     out.push_str(&format!(
@@ -304,6 +382,214 @@ fn teardown(server: PlanServer, service: Arc<PlanService>) -> Result<(), String>
     Ok(())
 }
 
+/// A tiny synthetic program with a unique cache key per `trips` value —
+/// the chaos drill needs fresh keys mid-storm so disk writes happen
+/// *while* the disk is failing.
+fn chaos_request(trips: i64) -> PlanRequest {
+    let mut b = ProgramBuilder::new();
+    for name in ["A", "B", "C", "D"] {
+        b.array(name, &[4096], 8);
+    }
+    b.nest(&[("i", 0, trips)], &["A[i] = B[i] + C[i] + D[i]"]).expect("chaos nest");
+    PlanRequest::new(b.build(), MachineConfig::knl_like(), <_>::default())
+}
+
+/// Sends `requests` through `client`, comparing every decoded response
+/// against its reference plan. Returns (wrong, failed).
+fn chaos_phase(
+    client: &mut PlanClient,
+    requests: &[PlanRequest],
+    references: &[dmcp_serve::PlanResult],
+) -> (usize, usize) {
+    let (mut wrong, mut failed) = (0usize, 0usize);
+    for (req, reference) in requests.iter().zip(references) {
+        let reference = match reference {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        match client.plan_bytes(&encode_request(req)) {
+            Ok(bytes) => match decode_plan(&bytes) {
+                Ok(plan) if plan == **reference => {}
+                _ => wrong += 1,
+            },
+            Err(_) => failed += 1,
+        }
+    }
+    (wrong, failed)
+}
+
+/// The `--chaos` drill: disk faults via [`FaultyIo`], wire faults via
+/// [`ChaosProxy`], correctness judged against independently compiled
+/// reference plans.
+fn run_chaos(args: &Args) -> Result<ChaosOutcome, String> {
+    const PER_PHASE: usize = 8;
+    // Phase request sets with disjoint keys: healthy, mid-storm, recovered.
+    let phases: Vec<Vec<PlanRequest>> = (0..3)
+        .map(|p| (0..PER_PHASE).map(|i| chaos_request(16 + (p * PER_PHASE + i) as i64)).collect())
+        .collect();
+    // References compiled by a service with no cache, no disk, no faults.
+    let referee = PlanService::new(ServeConfig { workers: 2, ..ServeConfig::default() });
+    let references: Vec<Vec<dmcp_serve::PlanResult>> =
+        phases.iter().map(|reqs| reqs.iter().map(|r| referee.plan_uncached(r)).collect()).collect();
+
+    // The service under test: durable tier over a seeded fault injector on
+    // an in-memory store (no real files harmed), fast re-probe.
+    let mem = MemIo::new();
+    let faulty = FaultyIo::new(Arc::new(mem), args.seed);
+    let chaos = faulty.chaos();
+    let config = ServeConfig {
+        workers: args.workers,
+        disk_dir: Some("/chaos-cache".into()),
+        disk_reprobe: Duration::from_millis(25),
+        disk_io: Some(Arc::new(faulty) as Arc<dyn StorageIo>),
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(PlanService::try_new(config).map_err(|e| format!("service: {e}"))?);
+    let server = PlanServer::start(Arc::clone(&service), "127.0.0.1:0", NetConfig::default())
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+
+    // Wire mangling for the storm phase: corruption, truncation, frame
+    // splitting, stalls — interleaved with clean connections so retries
+    // land. Past the script every connection passes through.
+    let script = vec![
+        ChaosAction::BitFlip { offset: 16, mask: 0x20 },
+        ChaosAction::Pass,
+        ChaosAction::Drop { after: 10 },
+        ChaosAction::Pass,
+        ChaosAction::Split { chunk: 9, gap: Duration::from_millis(1) },
+        ChaosAction::Delay(Duration::from_millis(10)),
+        ChaosAction::Refuse,
+        ChaosAction::Pass,
+        ChaosAction::BitFlip { offset: 40, mask: 0x01 },
+        ChaosAction::Pass,
+        ChaosAction::Drop { after: 3 },
+        ChaosAction::Pass,
+    ];
+    let proxy = ChaosProxy::start(addr, script).map_err(|e| format!("proxy: {e}"))?;
+
+    let client_config = ClientConfig {
+        io_timeout: Duration::from_secs(5),
+        max_retries: 6,
+        backoff_base: Duration::from_millis(10),
+        seed: args.seed,
+        ..ClientConfig::default()
+    };
+    let mut direct = PlanClient::connect(addr, client_config.clone())
+        .map_err(|e| format!("direct client: {e}"))?;
+    let mut proxied = PlanClient::connect(proxy.local_addr(), client_config.clone())
+        .map_err(|e| format!("proxied client: {e}"))?;
+    let mut probe =
+        PlanClient::connect(addr, client_config).map_err(|e| format!("probe client: {e}"))?;
+
+    // Phase 0: healthy baseline, direct.
+    let (mut wrong, mut failed) = chaos_phase(&mut direct, &phases[0], &references[0]);
+    println!("chaos: healthy phase done (wrong={wrong} failed={failed})");
+
+    // Phase 1: disk storm + wire chaos, through the proxy.
+    chaos.set_storm(true);
+    let (w, f) = chaos_phase(&mut proxied, &phases[1], &references[1]);
+    wrong += w;
+    failed += f;
+    let mid = probe.stats().map_err(|e| format!("mid-storm stats: {e}"))?;
+    let degraded_observed = mid.disk.degraded;
+    println!(
+        "chaos: storm phase done (wrong={w} failed={f} degraded={} disk_errors={})",
+        mid.disk.degraded, mid.disk.errors
+    );
+
+    // Lift the storm; stats polls double as re-probe opportunities. The
+    // clock measures fault-clear to tier-restored.
+    chaos.set_storm(false);
+    let t0 = Instant::now();
+    let mut recovered = false;
+    while t0.elapsed() < Duration::from_secs(5) {
+        let s = probe.stats().map_err(|e| format!("recovery stats: {e}"))?;
+        if !s.disk.degraded && s.disk.pending_records == 0 {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Phase 2: healthy again, direct.
+    let (w, f) = chaos_phase(&mut direct, &phases[2], &references[2]);
+    wrong += w;
+    failed += f;
+
+    let stats = probe.stats().map_err(|e| format!("final stats: {e}"))?;
+    let proxy_counters = proxy.counters();
+    proxy.stop();
+    teardown(server, service)?;
+
+    let counters = [direct.counters(), proxied.counters(), probe.counters()];
+    Ok(ChaosOutcome {
+        requests: 3 * PER_PHASE,
+        wrong_plans: wrong,
+        failed_requests: failed,
+        retries: counters.iter().map(|c| c.retries).sum(),
+        attempts: counters.iter().map(|c| c.attempts).sum(),
+        backoff_ms: counters.iter().map(|c| c.backoff.as_secs_f64() * 1e3).sum(),
+        degraded_observed,
+        recovered,
+        recovery_ms,
+        disk_errors: stats.disk.errors,
+        quarantined_segments: stats.disk.quarantined_segments,
+        pending_after: stats.disk.pending_records,
+        proxy_connections: proxy_counters.connections,
+        proxy_flipped: proxy_counters.flipped,
+        proxy_dropped: proxy_counters.dropped,
+    })
+}
+
+fn chaos_main(args: &Args) -> ExitCode {
+    println!("dmcp-loadgen --chaos: disk storm + wire faults, seed {:#x}", args.seed);
+    let outcome = match run_chaos(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "chaos: {} requests, wrong_plans={} failed={} retries={} backoff={:.1}ms",
+        outcome.requests,
+        outcome.wrong_plans,
+        outcome.failed_requests,
+        outcome.retries,
+        outcome.backoff_ms,
+    );
+    println!(
+        "chaos: degraded_observed={} recovered={} in {:.1}ms disk_errors={} pending_after={}",
+        outcome.degraded_observed,
+        outcome.recovered,
+        outcome.recovery_ms,
+        outcome.disk_errors,
+        outcome.pending_after,
+    );
+    let json = outcome.render_json();
+    if let Err(e) = std::fs::write(&args.out, json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+    if outcome.passed() {
+        println!("chaos drill passed: zero wrong plans, tier degraded and recovered");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "FAIL: chaos drill (wrong_plans={} degraded_observed={} recovered={} \
+             pending_after={})",
+            outcome.wrong_plans,
+            outcome.degraded_observed,
+            outcome.recovered,
+            outcome.pending_after,
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -312,6 +598,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.chaos {
+        return chaos_main(&args);
+    }
 
     // Encode every workload's request once; the mix replays the bytes.
     let payloads: Vec<Vec<u8>> = dmcp_workloads::all(Scale::Tiny)

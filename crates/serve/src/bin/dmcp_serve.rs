@@ -165,6 +165,15 @@ fn serve_forever(args: &Args, addr: &str) -> ExitCode {
         "drained={drained} submitted={} compiles={} cache_hits={} disk_hits={} disk_writes={}",
         stats.submitted, stats.compiles, stats.cache.hits, stats.disk.hits, stats.disk.writes,
     );
+    println!(
+        "health: panics={} disk_errors={} disk_degraded={} quarantined_segments={} \
+         pending_records={}",
+        stats.panics,
+        stats.disk.errors,
+        stats.disk.degraded,
+        stats.disk.quarantined_segments,
+        stats.disk.pending_records,
+    );
     if drained {
         ExitCode::SUCCESS
     } else {

@@ -1,7 +1,8 @@
 //! A small TCP client for `dmcp-serve` with timeouts and bounded,
 //! jittered exponential-backoff retry.
 //!
-//! Retry policy: connect failures, socket timeouts and the retryable
+//! Retry policy: connect failures, socket timeouts, in-transit corruption
+//! (a response frame failing its checksum) and the retryable
 //! server errors (`QueueFull`, `Timeout`, `ShuttingDown` — see
 //! [`ErrorCode::retryable`]) back off and try again, up to
 //! [`ClientConfig::max_retries`]; compile errors and malformed-request
@@ -104,6 +105,10 @@ pub struct ClientCounters {
     pub failed: u64,
     /// Extra attempts spent on backoff-and-retry.
     pub retries: u64,
+    /// Connection attempts made (first tries and retries alike).
+    pub attempts: u64,
+    /// Total time slept in backoff.
+    pub backoff: Duration,
 }
 
 /// A plan-service client. Not `Sync`: give each client thread its own
@@ -198,6 +203,7 @@ impl PlanClient {
     ) -> Result<T, ClientError> {
         let mut tries = 0u32;
         loop {
+            self.counters.attempts += 1;
             match attempt(self) {
                 Ok(v) => return Ok(v),
                 Err(e) if e.retryable() && tries < self.config.max_retries => {
@@ -219,7 +225,9 @@ impl PlanClient {
             .saturating_mul(1u32 << (attempt - 1).min(16))
             .min(self.config.backoff_max);
         let jitter = 0.5 + 0.5 * self.rng.next_f64();
-        std::thread::sleep(exp.mul_f64(jitter));
+        let slept = exp.mul_f64(jitter);
+        self.counters.backoff += slept;
+        std::thread::sleep(slept);
     }
 
     /// One connect–send–receive exchange.
@@ -237,10 +245,15 @@ impl PlanClient {
         write_frame(&mut stream, kind, payload).map_err(|e| ClientError::Io(e.to_string()))?;
         read_frame(&mut stream).map_err(|e| match e {
             // Socket failures (including a server that died mid-response)
-            // are retryable; a *decodable-but-wrong* response is not — the
-            // peer is not speaking this protocol.
+            // are retryable. A checksum mismatch is corruption *in
+            // transit* — the server never sends a frame that fails its
+            // own checksum — so a fresh attempt is the right response,
+            // and the torn payload is never surfaced. A decodable-but-
+            // wrong frame is not retryable: the peer is not speaking this
+            // protocol.
             WireError::Io(io) => ClientError::Io(io.to_string()),
             WireError::Closed => ClientError::Io("closed before response".to_string()),
+            WireError::BadChecksum => ClientError::Io("response checksum mismatch".to_string()),
             malformed => ClientError::Protocol(malformed.to_string()),
         })
     }

@@ -40,8 +40,12 @@ use crate::key::PlanRequest;
 pub const REQUEST_CODEC_V1: u8 = 1;
 /// Codec version byte leading every encoded plan.
 pub const PLAN_CODEC_V1: u8 = 2;
-/// Codec version byte leading every encoded stats snapshot.
+/// Codec version byte leading every encoded stats snapshot (superseded
+/// by [`STATS_CODEC_V2`]; kept so old captures are recognizably old).
 pub const STATS_CODEC_V1: u8 = 3;
+/// Current stats codec: v1 plus the chaos-era counters (worker panics,
+/// disk errors, quarantined segments, pending records, degraded flag).
+pub const STATS_CODEC_V2: u8 = 4;
 
 /// A typed decode failure. Encoders are infallible.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -928,7 +932,7 @@ pub fn decode_plan(bytes: &[u8]) -> Result<PartitionOutput, CodecError> {
 #[must_use]
 pub fn encode_stats(s: &ServeStats) -> Vec<u8> {
     let mut e = Enc::new();
-    e.u8(STATS_CODEC_V1);
+    e.u8(STATS_CODEC_V2);
     for v in [
         s.cache.hits,
         s.cache.misses,
@@ -949,6 +953,12 @@ pub fn encode_stats(s: &ServeStats) -> Vec<u8> {
         s.disk.bytes,
         s.disk.recovered_records,
         s.disk.truncated_bytes,
+        // v2 additions: chaos-era counters.
+        s.panics,
+        s.disk.errors,
+        s.disk.quarantined_segments,
+        s.disk.pending_records,
+        u64::from(s.disk.degraded),
     ] {
         e.u64(v);
     }
@@ -963,34 +973,39 @@ pub fn encode_stats(s: &ServeStats) -> Vec<u8> {
 pub fn decode_stats(bytes: &[u8]) -> Result<ServeStats, CodecError> {
     let mut d = Dec::new(bytes);
     let version = d.u8()?;
-    if version != STATS_CODEC_V1 {
+    if version != STATS_CODEC_V2 {
         return Err(CodecError::BadVersion("stats", version));
     }
-    Ok(ServeStats {
-        cache: CacheStats {
-            hits: d.u64()?,
-            misses: d.u64()?,
-            insertions: d.u64()?,
-            evictions: d.u64()?,
-            entries: d.u64()?,
-            bytes: d.u64()?,
-        },
-        compiles: d.u64()?,
-        shared: d.u64()?,
-        submitted: d.u64()?,
-        rejected: d.u64()?,
-        timeouts: d.u64()?,
-        disk: DiskStats {
-            hits: d.u64()?,
-            misses: d.u64()?,
-            writes: d.u64()?,
-            corrupt_drops: d.u64()?,
-            records: d.u64()?,
-            bytes: d.u64()?,
-            recovered_records: d.u64()?,
-            truncated_bytes: d.u64()?,
-        },
-    })
+    let cache = CacheStats {
+        hits: d.u64()?,
+        misses: d.u64()?,
+        insertions: d.u64()?,
+        evictions: d.u64()?,
+        entries: d.u64()?,
+        bytes: d.u64()?,
+    };
+    let compiles = d.u64()?;
+    let shared = d.u64()?;
+    let submitted = d.u64()?;
+    let rejected = d.u64()?;
+    let timeouts = d.u64()?;
+    let mut disk = DiskStats {
+        hits: d.u64()?,
+        misses: d.u64()?,
+        writes: d.u64()?,
+        corrupt_drops: d.u64()?,
+        records: d.u64()?,
+        bytes: d.u64()?,
+        recovered_records: d.u64()?,
+        truncated_bytes: d.u64()?,
+        ..DiskStats::default()
+    };
+    let panics = d.u64()?;
+    disk.errors = d.u64()?;
+    disk.quarantined_segments = d.u64()?;
+    disk.pending_records = d.u64()?;
+    disk.degraded = d.u64()? != 0;
+    Ok(ServeStats { cache, compiles, shared, submitted, rejected, timeouts, panics, disk })
 }
 
 #[cfg(test)]
@@ -1064,10 +1079,14 @@ mod tests {
 
     #[test]
     fn stats_roundtrip() {
-        let mut s = ServeStats { compiles: 7, ..ServeStats::default() };
+        let mut s = ServeStats { compiles: 7, panics: 1, ..ServeStats::default() };
         s.cache.hits = 11;
         s.disk.hits = 3;
         s.disk.truncated_bytes = 17;
+        s.disk.errors = 5;
+        s.disk.quarantined_segments = 2;
+        s.disk.pending_records = 9;
+        s.disk.degraded = true;
         s.timeouts = 2;
         let decoded = decode_stats(&encode_stats(&s)).expect("decodes");
         assert_eq!(format!("{s:?}"), format!("{decoded:?}"));

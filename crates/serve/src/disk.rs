@@ -28,16 +28,33 @@
 //!
 //! Writes go through a buffered writer that is flushed to the OS after
 //! every record (surviving process death); [`DiskTier::sync`] additionally
-//! fsyncs (surviving power loss) and runs on graceful shutdown.
+//! fsyncs (surviving power loss) and runs on graceful shutdown. Segment
+//! creation and rotation fsync the cache *directory* too, so the new
+//! entry itself survives power loss.
+//!
+//! # Graceful degradation
+//!
+//! All file operations go through [`StorageIo`], so the tier never
+//! assumes a healthy disk. A write/flush/fsync/rotate failure flips the
+//! tier to **memory-only**: `put` enqueues the record on a bounded
+//! pending queue and reports success (the in-memory LRU above still
+//! serves it), `get` skips the disk, and a time-gated *re-probe* —
+//! triggered from `get`/`put`/`sync`/`stats` — tries to rotate onto a
+//! fresh segment. When the probe succeeds the tier is restored and the
+//! pending queue drains onto disk. A segment whose scan finds nothing
+//! valid (or that cannot be truncated) is *quarantined*: renamed aside
+//! with a `.quarantine` suffix and counted, never silently re-scanned
+//! forever.
 
 use crate::codec::fnv1a64;
 use crate::key::PlanKey;
-use std::collections::HashMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use crate::storage::{RealIo, StorageFile, StorageIo};
+use std::collections::{HashMap, VecDeque};
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Per-record magic ("DMCR").
 pub const RECORD_MAGIC: u32 = 0x444D_4352;
@@ -47,6 +64,14 @@ pub const RECORD_HEADER_BYTES: u64 = 4 + 32 + 4 + 8;
 pub const MAX_RECORD_BYTES: u32 = 64 << 20;
 /// Default segment-rotation threshold.
 pub const DEFAULT_SEGMENT_BYTES: u64 = 32 << 20;
+/// Default interval between re-probes while degraded.
+pub const DEFAULT_REPROBE: Duration = Duration::from_millis(500);
+/// Suffix appended to a quarantined segment's file name.
+pub const QUARANTINE_SUFFIX: &str = ".quarantine";
+/// Most records the degraded-mode pending queue holds.
+const MAX_PENDING_RECORDS: usize = 256;
+/// Most payload bytes the degraded-mode pending queue holds.
+const MAX_PENDING_BYTES: u64 = 8 << 20;
 
 /// Counters for the disk tier. All zeros when no tier is configured.
 #[derive(Clone, Copy, Debug, Default)]
@@ -68,6 +93,16 @@ pub struct DiskStats {
     pub recovered_records: u64,
     /// Bytes of torn tail discarded by the opening scan.
     pub truncated_bytes: u64,
+    /// Disk I/O errors absorbed (each one degrades or keeps the tier
+    /// degraded).
+    pub errors: u64,
+    /// Segments renamed aside because nothing in them verified (or the
+    /// torn tail could not be truncated).
+    pub quarantined_segments: u64,
+    /// Records parked on the degraded-mode pending queue.
+    pub pending_records: u64,
+    /// `true` while the tier is memory-only (disk writes are failing).
+    pub degraded: bool,
 }
 
 /// Where one plan's payload lives.
@@ -82,7 +117,7 @@ struct RecordLoc {
 
 struct ActiveSegment {
     id: u64,
-    file: File,
+    file: Box<dyn StorageFile>,
     len: u64,
 }
 
@@ -91,31 +126,38 @@ struct DiskState {
     active: ActiveSegment,
     /// Total bytes across all segments (for stats).
     total_bytes: u64,
+    /// Writes parked while degraded, drained by a successful re-probe.
+    pending: VecDeque<(PlanKey, Vec<u8>)>,
+    pending_bytes: u64,
 }
 
 /// The durable tier. All methods take `&self`; one mutex serializes
-/// writers and the index, reads open their own file handle.
+/// writers and the index, reads go through the shared [`StorageIo`].
 pub struct DiskTier {
     dir: PathBuf,
     segment_bytes: u64,
+    io: Arc<dyn StorageIo>,
+    reprobe_interval: Duration,
     state: Mutex<DiskState>,
+    degraded: AtomicBool,
+    last_probe: Mutex<Instant>,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
     corrupt_drops: AtomicU64,
     recovered_records: AtomicU64,
     truncated_bytes: AtomicU64,
+    errors: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 fn segment_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("seg-{id:06}.log"))
 }
 
-fn segment_ids(dir: &Path) -> std::io::Result<Vec<u64>> {
+fn segment_ids(io: &dyn StorageIo, dir: &Path) -> io::Result<Vec<u64>> {
     let mut ids = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let name = entry?.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for name in io.list(dir)? {
         if let Some(id) = name.strip_prefix("seg-").and_then(|s| s.strip_suffix(".log")) {
             if let Ok(id) = id.parse::<u64>() {
                 ids.push(id);
@@ -124,6 +166,15 @@ fn segment_ids(dir: &Path) -> std::io::Result<Vec<u64>> {
     }
     ids.sort_unstable();
     Ok(ids)
+}
+
+/// Renames a segment aside (`seg-NNNNNN.log.quarantine`) and makes the
+/// rename durable.
+fn quarantine_segment(io: &dyn StorageIo, dir: &Path, path: &Path) -> io::Result<()> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("segment");
+    let aside = dir.join(format!("{name}{QUARANTINE_SUFFIX}"));
+    io.rename(path, &aside)?;
+    io.sync_dir(dir)
 }
 
 /// Outcome of scanning one segment.
@@ -186,7 +237,7 @@ impl DiskTier {
     ///
     /// I/O errors creating the directory, reading segments, or truncating
     /// a torn tail.
-    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         Self::open_with_segment_bytes(dir, DEFAULT_SEGMENT_BYTES)
     }
 
@@ -199,23 +250,59 @@ impl DiskTier {
     pub fn open_with_segment_bytes(
         dir: impl Into<PathBuf>,
         segment_bytes: u64,
-    ) -> std::io::Result<Self> {
+    ) -> io::Result<Self> {
+        Self::open_with_io(dir, segment_bytes, DEFAULT_REPROBE, Arc::new(RealIo))
+    }
+
+    /// Opens the tier over an explicit [`StorageIo`] — the chaos harness
+    /// passes a [`FaultyIo`](crate::storage::FaultyIo) here — with an
+    /// explicit re-probe interval for degraded mode.
+    ///
+    /// A segment whose scan finds no valid record (while the file is
+    /// non-empty), or whose torn tail cannot be truncated, is quarantined:
+    /// renamed aside and counted, its records dropped.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory, reading segments, truncating a
+    /// torn tail, quarantining, or opening the active segment. Open does
+    /// not degrade — a tier that cannot even be scanned is an error the
+    /// caller must see.
+    pub fn open_with_io(
+        dir: impl Into<PathBuf>,
+        segment_bytes: u64,
+        reprobe_interval: Duration,
+        io: Arc<dyn StorageIo>,
+    ) -> io::Result<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
+        io.create_dir_all(&dir)?;
         let mut index = HashMap::new();
         let mut total_bytes = 0u64;
         let mut recovered = 0u64;
         let mut truncated = 0u64;
-        let ids = segment_ids(&dir)?;
+        let mut quarantined = 0u64;
+        let ids = segment_ids(io.as_ref(), &dir)?;
         for &id in &ids {
             let path = segment_path(&dir, id);
-            let bytes = fs::read(&path)?;
+            let bytes = io.read(&path)?;
+            let len = bytes.len() as u64;
             let outcome = scan_segment(&bytes, id);
-            if outcome.valid_len < bytes.len() as u64 {
-                truncated += bytes.len() as u64 - outcome.valid_len;
-                let f = OpenOptions::new().write(true).open(&path)?;
-                f.set_len(outcome.valid_len)?;
-                f.sync_all()?;
+            if outcome.valid_len == 0 && len > 0 {
+                // Nothing in the file verifies: quarantine the whole
+                // segment instead of re-scanning the garbage forever.
+                quarantine_segment(io.as_ref(), &dir, &path)?;
+                quarantined += 1;
+                continue;
+            }
+            if outcome.valid_len < len {
+                if io.truncate(&path, outcome.valid_len).is_err() {
+                    // Can't cut the torn tail off — rename the segment
+                    // aside rather than serve from a file we can't fix.
+                    quarantine_segment(io.as_ref(), &dir, &path)?;
+                    quarantined += 1;
+                    continue;
+                }
+                truncated += len - outcome.valid_len;
             }
             recovered += outcome.records.len() as u64;
             total_bytes += outcome.valid_len;
@@ -225,28 +312,48 @@ impl DiskTier {
         }
         let active_id = ids.last().copied().unwrap_or(0);
         let path = segment_path(&dir, active_id);
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        let len = file.metadata()?.len();
-        let state =
-            DiskState { index, active: ActiveSegment { id: active_id, file, len }, total_bytes };
+        let file = io.open_append(&path)?;
+        io.sync_dir(&dir)?; // the active segment may be freshly created
+        let len = io.file_len(&path)?;
+        let state = DiskState {
+            index,
+            active: ActiveSegment { id: active_id, file, len },
+            total_bytes,
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+        };
         Ok(Self {
             dir,
             segment_bytes,
+            io,
+            reprobe_interval,
             state: Mutex::new(state),
+            degraded: AtomicBool::new(false),
+            last_probe: Mutex::new(Instant::now()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             corrupt_drops: AtomicU64::new(0),
             recovered_records: AtomicU64::new(recovered),
             truncated_bytes: AtomicU64::new(truncated),
+            errors: AtomicU64::new(0),
+            quarantined: AtomicU64::new(quarantined),
         })
     }
 
     /// Looks up a plan's payload. Reads re-verify the checksum; a record
     /// that no longer verifies (bit rot) is dropped from the index and
     /// reported as a miss, so corruption degrades to a recompile rather
-    /// than a wrong answer.
+    /// than a wrong answer. While degraded the disk is not touched at
+    /// all — every lookup is a miss (and a re-probe opportunity).
     pub fn get(&self, key: PlanKey) -> Option<Vec<u8>> {
+        if self.degraded.load(Ordering::SeqCst) {
+            self.maybe_reprobe();
+            if self.degraded.load(Ordering::SeqCst) {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
         let loc = {
             let state = self.state.lock().expect("disk tier poisoned");
             state.index.get(&key).copied()
@@ -271,39 +378,74 @@ impl DiskTier {
 
     fn read_payload(&self, loc: RecordLoc) -> Option<Vec<u8>> {
         let path = segment_path(&self.dir, loc.segment);
-        let mut f = File::open(path).ok()?;
-        f.seek(SeekFrom::Start(loc.offset)).ok()?;
-        let mut payload = vec![0u8; loc.len as usize];
-        f.read_exact(&mut payload).ok()?;
-        Some(payload)
+        self.io.read_at(&path, loc.offset, loc.len as usize).ok()
     }
 
     /// Appends one plan. A key already on disk is left untouched —
     /// completed records are never rewritten (equal keys hold
     /// bit-identical payloads, so there is nothing to update).
     ///
+    /// A disk failure does **not** surface here: the tier flips to
+    /// memory-only, the record is parked on the bounded pending queue
+    /// (oldest entries dropped past the cap — they only cost a future
+    /// recompile) and `Ok` is returned; the next successful re-probe
+    /// drains the queue to disk.
+    ///
     /// # Errors
     ///
-    /// I/O errors appending or rotating. On error the in-memory index is
-    /// unchanged; a partially appended record is the torn tail the next
-    /// open truncates.
-    pub fn put(&self, key: PlanKey, payload: &[u8]) -> std::io::Result<()> {
+    /// Only `InvalidInput` for an oversized payload (a caller bug, not a
+    /// disk fault).
+    pub fn put(&self, key: PlanKey, payload: &[u8]) -> io::Result<()> {
         if payload.len() as u64 > u64::from(MAX_RECORD_BYTES) {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
                 "plan payload exceeds the record ceiling",
             ));
+        }
+        if self.degraded.load(Ordering::SeqCst) {
+            self.maybe_reprobe();
         }
         let mut state = self.state.lock().expect("disk tier poisoned");
         if state.index.contains_key(&key) {
             return Ok(());
         }
+        if self.degraded.load(Ordering::SeqCst) {
+            Self::enqueue_pending(&mut state, key, payload.to_vec());
+            return Ok(());
+        }
+        if self.append_locked(&mut state, key, payload).is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            self.degraded.store(true, Ordering::SeqCst);
+            Self::enqueue_pending(&mut state, key, payload.to_vec());
+        }
+        Ok(())
+    }
+
+    /// Parks a write while degraded, bounded by records and bytes.
+    fn enqueue_pending(state: &mut DiskState, key: PlanKey, payload: Vec<u8>) {
+        if state.pending.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        state.pending_bytes += payload.len() as u64;
+        state.pending.push_back((key, payload));
+        while state.pending.len() > MAX_PENDING_RECORDS || state.pending_bytes > MAX_PENDING_BYTES {
+            if let Some((_, dropped)) = state.pending.pop_front() {
+                state.pending_bytes -= dropped.len() as u64;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Appends one record to the active segment, rotating first when the
+    /// segment is full. On error the segment tail is suspect (a prefix of
+    /// the record may have landed) — the caller degrades, and recovery
+    /// always rotates onto a fresh segment so the torn tail is left for
+    /// the next open's scan to truncate.
+    fn append_locked(&self, state: &mut DiskState, key: PlanKey, payload: &[u8]) -> io::Result<()> {
         let record_len = RECORD_HEADER_BYTES + payload.len() as u64;
         if state.active.len > 0 && state.active.len + record_len > self.segment_bytes {
-            let next = state.active.id + 1;
-            let file =
-                OpenOptions::new().create(true).append(true).open(segment_path(&self.dir, next))?;
-            state.active = ActiveSegment { id: next, file, len: 0 };
+            self.rotate_locked(state)?;
         }
         let checksum = fnv1a64(payload);
         let mut header = Vec::with_capacity(RECORD_HEADER_BYTES as usize);
@@ -329,15 +471,86 @@ impl DiskTier {
         Ok(())
     }
 
-    /// Fsyncs the active segment — after this returns, every completed
-    /// record survives power loss, not just process death.
+    /// Opens the next segment as the active one and makes the new
+    /// directory entry durable. The previous active segment (and any torn
+    /// tail it carries) is simply left behind.
+    fn rotate_locked(&self, state: &mut DiskState) -> io::Result<()> {
+        let next = state.active.id + 1;
+        let file = self.io.open_append(&segment_path(&self.dir, next))?;
+        self.io.sync_dir(&self.dir)?;
+        state.active = ActiveSegment { id: next, file, len: 0 };
+        Ok(())
+    }
+
+    /// While degraded, and at most once per re-probe interval, tries to
+    /// rotate onto a fresh segment. Success restores the tier and drains
+    /// the pending queue; failure counts an error and stays memory-only.
+    /// Called from `get`/`put`/`sync`/`stats` so any traffic — including
+    /// a stats poll — can drive recovery.
+    fn maybe_reprobe(&self) {
+        if !self.degraded.load(Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut last = self.last_probe.lock().expect("disk tier poisoned");
+            if last.elapsed() < self.reprobe_interval {
+                return;
+            }
+            *last = Instant::now();
+        }
+        let mut state = self.state.lock().expect("disk tier poisoned");
+        if !self.degraded.load(Ordering::SeqCst) {
+            return; // somebody else re-probed first
+        }
+        if self.rotate_locked(&mut state).is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.degraded.store(false, Ordering::SeqCst);
+        while let Some((key, payload)) = state.pending.pop_front() {
+            state.pending_bytes -= payload.len() as u64;
+            if state.index.contains_key(&key) {
+                continue;
+            }
+            if self.append_locked(&mut state, key, &payload).is_err() {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.degraded.store(true, Ordering::SeqCst);
+                state.pending_bytes += payload.len() as u64;
+                state.pending.push_front((key, payload));
+                break;
+            }
+        }
+    }
+
+    /// Fsyncs the active segment — after this returns `Ok`, every
+    /// completed record survives power loss, not just process death. An
+    /// fsync failure degrades the tier (the kernel may have dropped dirty
+    /// pages — the tail is no longer trustworthy).
     ///
     /// # Errors
     ///
-    /// The underlying `fsync` failure.
-    pub fn sync(&self) -> std::io::Result<()> {
-        let state = self.state.lock().expect("disk tier poisoned");
-        state.active.file.sync_all()
+    /// The underlying `fsync` failure, or an error naming the degraded
+    /// state while the tier is memory-only.
+    pub fn sync(&self) -> io::Result<()> {
+        self.maybe_reprobe();
+        let mut state = self.state.lock().expect("disk tier poisoned");
+        if self.degraded.load(Ordering::SeqCst) {
+            return Err(io::Error::other("disk tier degraded (memory-only)"));
+        }
+        match state.active.file.sync() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.degraded.store(true, Ordering::SeqCst);
+                Err(e)
+            }
+        }
+    }
+
+    /// `true` while the tier is memory-only.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
     }
 
     /// Number of indexed records.
@@ -358,12 +571,14 @@ impl DiskTier {
         &self.dir
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. Doubles as a re-probe opportunity: a degraded
+    /// tier polled for stats will try to recover.
     #[must_use]
     pub fn stats(&self) -> DiskStats {
-        let (records, bytes) = {
+        self.maybe_reprobe();
+        let (records, bytes, pending_records) = {
             let state = self.state.lock().expect("disk tier poisoned");
-            (state.index.len() as u64, state.total_bytes)
+            (state.index.len() as u64, state.total_bytes, state.pending.len() as u64)
         };
         DiskStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -374,6 +589,10 @@ impl DiskTier {
             bytes,
             recovered_records: self.recovered_records.load(Ordering::Relaxed),
             truncated_bytes: self.truncated_bytes.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            quarantined_segments: self.quarantined.load(Ordering::Relaxed),
+            pending_records,
+            degraded: self.degraded.load(Ordering::SeqCst),
         }
     }
 }
@@ -381,6 +600,8 @@ impl DiskTier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::{FaultyIo, MemIo};
+    use std::fs;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("dmcp-disk-{tag}-{}", std::process::id()));
@@ -436,7 +657,7 @@ mod tests {
         for n in 0..6u64 {
             tier.put(key(n), &[0xAB; 150]).expect("put");
         }
-        assert!(segment_ids(&dir).expect("ls").len() > 1, "rotation produced segments");
+        assert!(segment_ids(&RealIo, &dir).expect("ls").len() > 1, "rotation produced segments");
         drop(tier);
         let reopened = DiskTier::open_with_segment_bytes(&dir, 256).expect("reopen");
         assert_eq!(reopened.len(), 6);
@@ -458,7 +679,7 @@ mod tests {
         // Simulate kill -9 mid-append: chop the last record's payload.
         let seg = segment_path(&dir, 0);
         let len = fs::metadata(&seg).expect("meta").len();
-        let f = OpenOptions::new().write(true).open(&seg).expect("open seg");
+        let f = fs::OpenOptions::new().write(true).open(&seg).expect("open seg");
         f.set_len(len - 37).expect("tear");
         drop(f);
 
@@ -467,6 +688,7 @@ mod tests {
         assert_eq!(recovered.len(), 4, "exactly the torn record is lost");
         assert_eq!(stats.recovered_records, 4);
         assert!(stats.truncated_bytes > 0, "torn tail measured");
+        assert_eq!(stats.quarantined_segments, 0, "a good prefix is never quarantined");
         for n in 0..4u64 {
             assert_eq!(recovered.get(key(n)).as_deref(), Some(&[n as u8; 100][..]));
         }
@@ -488,7 +710,12 @@ mod tests {
         drop(tier);
         let seg = segment_path(&dir, 0);
         let len = fs::metadata(&seg).expect("meta").len();
-        OpenOptions::new().write(true).open(&seg).expect("seg").set_len(len - 10).expect("tear");
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .expect("seg")
+            .set_len(len - 10)
+            .expect("tear");
 
         let tier = DiskTier::open(&dir).expect("recover");
         assert_eq!(tier.len(), 2);
@@ -501,7 +728,7 @@ mod tests {
     }
 
     #[test]
-    fn flipped_payload_byte_fails_verification_on_read() {
+    fn flipped_payload_byte_quarantines_the_all_bad_segment() {
         let dir = tmpdir("bitrot");
         let tier = DiskTier::open(&dir).expect("open");
         tier.put(key(1), &[7u8; 50]).expect("put");
@@ -513,10 +740,77 @@ mod tests {
         bytes[at] ^= 0x40;
         fs::write(&seg, &bytes).expect("write");
 
-        // The opening scan already rejects the record (checksum mismatch).
+        // The opening scan finds nothing valid in the segment, so the
+        // whole file is renamed aside instead of re-scanned forever.
         let tier = DiskTier::open(&dir).expect("open");
         assert_eq!(tier.len(), 0, "corrupt record is not indexed");
         assert!(tier.get(key(1)).is_none());
+        assert_eq!(tier.stats().quarantined_segments, 1);
+        let aside = dir.join(format!("seg-000000.log{QUARANTINE_SUFFIX}"));
+        assert!(aside.exists(), "segment renamed aside");
+        // The quarantined file is out of the scan: a reopen is clean.
+        drop(tier);
+        let again = DiskTier::open(&dir).expect("reopen");
+        assert_eq!(again.stats().quarantined_segments, 0);
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_failure_degrades_to_memory_only_and_reprobe_restores() {
+        let mem = MemIo::new();
+        let faulty = FaultyIo::new(Arc::new(Arc::clone(&mem)), 0xD16E57);
+        let chaos = faulty.chaos();
+        let tier = DiskTier::open_with_io("/chaos", 1 << 20, Duration::ZERO, Arc::new(faulty))
+            .expect("open");
+        tier.put(key(0), b"before the storm").expect("healthy put");
+
+        chaos.set_storm(true);
+        tier.put(key(1), b"during 1").expect("degraded put still Ok");
+        tier.put(key(2), b"during 2").expect("degraded put still Ok");
+        let s = tier.stats();
+        assert!(s.degraded, "write failure flips the tier to memory-only");
+        assert!(s.errors >= 1);
+        assert_eq!(s.pending_records, 2, "writes parked while degraded");
+        assert!(tier.get(key(0)).is_none(), "degraded lookups skip the disk");
+        assert!(tier.sync().is_err(), "sync refuses while degraded");
+
+        chaos.set_storm(false);
+        let s = tier.stats(); // the stats poll itself re-probes
+        assert!(!s.degraded, "re-probe restored the tier");
+        assert_eq!(s.pending_records, 0, "pending queue drained to disk");
+        assert_eq!(tier.get(key(1)).as_deref(), Some(&b"during 1"[..]));
+        assert_eq!(tier.get(key(0)).as_deref(), Some(&b"before the storm"[..]));
+        tier.sync().expect("sync healthy again");
+        drop(tier);
+
+        // Reopen over the same in-memory filesystem: every record —
+        // including the drained pending ones — was committed.
+        let clean =
+            DiskTier::open_with_io("/chaos", 1 << 20, Duration::ZERO, Arc::new(Arc::clone(&mem)))
+                .expect("reopen");
+        assert_eq!(clean.len(), 3);
+        for (n, payload) in [(0u64, &b"before the storm"[..]), (1, b"during 1"), (2, b"during 2")] {
+            assert_eq!(clean.get(key(n)).as_deref(), Some(payload));
+        }
+    }
+
+    #[test]
+    fn fsync_failure_degrades_and_recovery_rotates_to_a_fresh_segment() {
+        let mem = MemIo::new();
+        let faulty = FaultyIo::new(Arc::new(Arc::clone(&mem)), 0xF5);
+        let chaos = faulty.chaos();
+        let tier = DiskTier::open_with_io("/fsync", 1 << 20, Duration::ZERO, Arc::new(faulty))
+            .expect("open");
+        tier.put(key(1), b"one").expect("put");
+        chaos.fail_at(chaos.ops());
+        assert!(tier.sync().is_err(), "injected fsync failure surfaces");
+        assert!(tier.is_degraded());
+        // The next sync re-probes (interval zero), rotates and succeeds.
+        tier.sync().expect("recovered");
+        assert!(!tier.is_degraded());
+        assert!(
+            mem.bytes(Path::new("/fsync/seg-000001.log")).is_some(),
+            "recovery abandoned the suspect segment for a fresh one"
+        );
     }
 }

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod codec;
 pub mod disk;
@@ -55,9 +56,11 @@ pub mod key;
 pub mod mix;
 pub mod net;
 pub mod service;
+pub mod storage;
 pub mod wire;
 
 pub use cache::{approx_plan_bytes, CacheStats, ShardedPlanCache};
+pub use chaos::{ChaosAction, ChaosProxy, ProxyCounters};
 pub use client::{ClientConfig, ClientCounters, ClientError, PlanClient};
 pub use codec::CodecError;
 pub use disk::{DiskStats, DiskTier};
@@ -65,6 +68,7 @@ pub use key::{PlanKey, PlanRequest};
 pub use mix::{run_client_mix, run_comparison, MixConfig, MixReport};
 pub use net::{NetConfig, PlanServer};
 pub use service::{PlanResult, PlanService, PlanTicket, ServeConfig, ServeError, ServeStats};
+pub use storage::{ChaosState, FaultyIo, MemIo, RealIo, StorageFile, StorageIo};
 pub use wire::{ErrorCode, WireError};
 
 /// Compile-time audit that everything the service moves across or shares

@@ -152,17 +152,44 @@ fn accept_loop(
 
 /// Serves one connection until clean close, socket error, malformed
 /// input or read timeout.
+///
+/// Each request is additionally wrapped in `catch_unwind`: a panic while
+/// answering (a compile bug, a poisoned lock) is contained as a typed
+/// `Internal` error frame with the connection *and the handler worker*
+/// kept alive — one bad request must not take the whole connection pool
+/// with it. (The service's own workers contain compile panics too; this
+/// is the second fence, for panics in the answer path itself.)
 fn handle_connection(service: &PlanService, stream: &mut TcpStream) {
     loop {
         match read_frame(stream) {
             Ok((FrameKind::PlanRequest, payload)) => {
-                if !answer_plan(service, stream, &payload) {
-                    return;
+                let answered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    answer_plan(service, stream, &payload)
+                }));
+                match answered {
+                    Ok(true) => {}
+                    Ok(false) => return,
+                    Err(_) => {
+                        let payload =
+                            encode_error(ErrorCode::Internal, "handler panicked (contained)");
+                        if write_frame(stream, FrameKind::Error, &payload).is_err() {
+                            return;
+                        }
+                    }
                 }
             }
             Ok((FrameKind::StatsRequest, _)) => {
-                let payload = encode_stats(&service.stats());
-                if write_frame(stream, FrameKind::StatsOk, &payload).is_err() {
+                let answered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    encode_stats(&service.stats())
+                }));
+                let (kind, payload) = match answered {
+                    Ok(stats) => (FrameKind::StatsOk, stats),
+                    Err(_) => (
+                        FrameKind::Error,
+                        encode_error(ErrorCode::Internal, "stats handler panicked (contained)"),
+                    ),
+                };
+                if write_frame(stream, kind, &payload).is_err() {
                     return;
                 }
             }

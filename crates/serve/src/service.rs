@@ -19,8 +19,9 @@
 //! workers drain what was admitted, and every outstanding ticket resolves.
 
 use crate::cache::{CacheStats, ShardedPlanCache};
-use crate::disk::{DiskStats, DiskTier, DEFAULT_SEGMENT_BYTES};
+use crate::disk::{DiskStats, DiskTier, DEFAULT_REPROBE, DEFAULT_SEGMENT_BYTES};
 use crate::key::{PlanKey, PlanRequest};
+use crate::storage::{RealIo, StorageIo};
 use dmcp_core::{PartitionError, PartitionOutput, Partitioner};
 use dmcp_mach::FaultState;
 use dmcp_pool::{Pool, SubmitError, WorkerPool};
@@ -32,7 +33,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Service configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Worker threads compiling plans.
     pub workers: usize,
@@ -53,10 +54,40 @@ pub struct ServeConfig {
     pub disk_dir: Option<PathBuf>,
     /// Segment-rotation threshold for the disk tier.
     pub disk_segment_bytes: u64,
+    /// Interval between degraded-tier re-probes (see
+    /// [`DiskTier::open_with_io`]).
+    pub disk_reprobe: Duration,
+    /// Storage implementation for the disk tier; `None` uses [`RealIo`].
+    /// The chaos harness passes a [`FaultyIo`](crate::storage::FaultyIo)
+    /// here to inject disk faults under a live service.
+    pub disk_io: Option<Arc<dyn StorageIo>>,
     /// Deadline for one ticket's wait on an in-flight compile; a wedged
     /// compile surfaces as [`ServeError::Timeout`] instead of hanging
     /// every duplicate request forever. `None` waits unboundedly.
     pub wait_timeout: Option<Duration>,
+    /// Chaos knob: every compile panics. Exists solely so tests can drive
+    /// the worker-panic containment path ([`ServeError::Internal`])
+    /// end-to-end; never set in production.
+    #[doc(hidden)]
+    pub chaos_compile_panic: bool,
+}
+
+impl fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("workers", &self.workers)
+            .field("queue_depth", &self.queue_depth)
+            .field("cache_bytes", &self.cache_bytes)
+            .field("cache_shards", &self.cache_shards)
+            .field("single_flight", &self.single_flight)
+            .field("disk_dir", &self.disk_dir)
+            .field("disk_segment_bytes", &self.disk_segment_bytes)
+            .field("disk_reprobe", &self.disk_reprobe)
+            .field("disk_io", &self.disk_io.as_ref().map(|_| "custom"))
+            .field("wait_timeout", &self.wait_timeout)
+            .field("chaos_compile_panic", &self.chaos_compile_panic)
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
@@ -69,7 +100,10 @@ impl Default for ServeConfig {
             single_flight: true,
             disk_dir: None,
             disk_segment_bytes: DEFAULT_SEGMENT_BYTES,
+            disk_reprobe: DEFAULT_REPROBE,
+            disk_io: None,
             wait_timeout: Some(Duration::from_secs(120)),
+            chaos_compile_panic: false,
         }
     }
 }
@@ -88,6 +122,10 @@ pub enum ServeError {
     Compile(PartitionError),
     /// The durable tier could not be opened.
     Disk(String),
+    /// A worker panicked mid-compile. The panic was contained (the worker
+    /// and every other flight are unaffected); retrying the same request
+    /// will very likely panic again, so the code is not retryable.
+    Internal(String),
 }
 
 impl fmt::Display for ServeError {
@@ -98,6 +136,7 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => f.write_str("service is shutting down"),
             ServeError::Compile(e) => write!(f, "compilation failed: {e}"),
             ServeError::Disk(e) => write!(f, "durable tier unavailable: {e}"),
+            ServeError::Internal(e) => write!(f, "internal failure (contained panic): {e}"),
         }
     }
 }
@@ -245,10 +284,14 @@ struct Inner {
     submitted: AtomicU64,
     rejected: AtomicU64,
     timeouts: Arc<AtomicU64>,
+    /// Worker panics contained by [`Inner::run_job`].
+    panics: AtomicU64,
     /// Cleared by shutdown before the drain: new submissions are refused
     /// while admitted work finishes.
     admitting: AtomicBool,
     single_flight: bool,
+    /// Chaos knob mirrored from [`ServeConfig::chaos_compile_panic`].
+    chaos_compile_panic: bool,
 }
 
 /// Compiles one request from scratch, optionally reusing per-nest window
@@ -324,6 +367,7 @@ impl Inner {
 
     /// Compiles one request, reusing memoized window sizes when available.
     fn compile(&self, key: PlanKey, request: &PlanRequest) -> PlanResult {
+        assert!(!self.chaos_compile_panic, "chaos: injected compile panic");
         self.compiles.fetch_add(1, Ordering::Relaxed);
         let windows = self.windows.lock().expect("window memo poisoned").get(&key).cloned();
         let out = compile_output(request, windows.as_deref())?;
@@ -349,12 +393,33 @@ impl Inner {
         // sat in the queue (an identical key re-submitted after this
         // flight was registered goes through the flight, but a *different*
         // service user may race the compile after an eviction).
-        let result = match self.lookup(job.key) {
-            Some(plan) => Ok(plan),
-            None => self.compile(job.key, &job.request),
-        };
+        //
+        // The whole lookup-or-compile runs under `catch_unwind`: a panic
+        // anywhere in the partitioner must resolve this flight (with a
+        // typed [`ServeError::Internal`]) instead of leaving every waiter
+        // hanging and poisoning the worker.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match self.lookup(job.key) {
+                Some(plan) => Ok(plan),
+                None => self.compile(job.key, &job.request),
+            }))
+            .unwrap_or_else(|payload| {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Internal(panic_text(payload.as_ref())))
+            });
         self.inflight.lock().expect("inflight poisoned").remove(&job.key);
         job.flight.complete(result);
+    }
+}
+
+/// Best-effort text of a panic payload (`&str` and `String` panics).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
     }
 }
 
@@ -374,6 +439,8 @@ pub struct ServeStats {
     pub rejected: u64,
     /// Ticket waits that elapsed their deadline ([`ServeError::Timeout`]).
     pub timeouts: u64,
+    /// Worker panics contained as [`ServeError::Internal`].
+    pub panics: u64,
     /// Durable-tier counters (all zero when no disk tier is configured).
     pub disk: DiskStats,
 }
@@ -410,10 +477,14 @@ impl PlanService {
     pub fn try_new(config: ServeConfig) -> Result<Self, ServeError> {
         let disk = match &config.disk_dir {
             None => None,
-            Some(dir) => Some(
-                DiskTier::open_with_segment_bytes(dir, config.disk_segment_bytes)
-                    .map_err(|e| ServeError::Disk(e.to_string()))?,
-            ),
+            Some(dir) => {
+                let io: Arc<dyn StorageIo> =
+                    config.disk_io.clone().unwrap_or_else(|| Arc::new(RealIo));
+                Some(
+                    DiskTier::open_with_io(dir, config.disk_segment_bytes, config.disk_reprobe, io)
+                        .map_err(|e| ServeError::Disk(e.to_string()))?,
+                )
+            }
         };
         let inner = Arc::new(Inner {
             cache: ShardedPlanCache::new(config.cache_shards, config.cache_bytes),
@@ -425,8 +496,10 @@ impl PlanService {
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             timeouts: Arc::new(AtomicU64::new(0)),
+            panics: AtomicU64::new(0),
             admitting: AtomicBool::new(true),
             single_flight: config.single_flight,
+            chaos_compile_panic: config.chaos_compile_panic,
         });
         let pool = WorkerPool::new("dmcp-serve", config.workers, config.queue_depth);
         Ok(Self { inner, pool, wait_timeout: config.wait_timeout })
@@ -559,6 +632,7 @@ impl PlanService {
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             rejected: self.inner.rejected.load(Ordering::Relaxed),
             timeouts: self.inner.timeouts.load(Ordering::Relaxed),
+            panics: self.inner.panics.load(Ordering::Relaxed),
             disk: self.inner.disk.as_ref().map(DiskTier::stats).unwrap_or_default(),
         }
     }
@@ -723,6 +797,23 @@ mod tests {
         assert_eq!(err, ServeError::ShuttingDown);
         drop(service);
         assert_eq!(inner.compiles.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn compile_panic_resolves_the_flight_and_keeps_workers_alive() {
+        let service = PlanService::new(ServeConfig {
+            workers: 1,
+            chaos_compile_panic: true,
+            ..ServeConfig::default()
+        });
+        let err = service.plan(request(32)).unwrap_err();
+        assert!(matches!(err, ServeError::Internal(_)), "panic surfaces typed, got {err:?}");
+        // The single worker survived: a second request still resolves
+        // (it panics again — the knob is global — but never hangs).
+        let err = service.plan(request(48)).unwrap_err();
+        assert!(matches!(err, ServeError::Internal(_)));
+        assert_eq!(service.stats().panics, 2);
+        service.shutdown();
     }
 
     #[test]

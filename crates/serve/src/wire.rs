@@ -135,7 +135,7 @@ impl From<&ServeError> for ErrorCode {
             ServeError::Timeout => ErrorCode::Timeout,
             ServeError::ShuttingDown => ErrorCode::ShuttingDown,
             ServeError::Compile(_) => ErrorCode::Compile,
-            ServeError::Disk(_) => ErrorCode::Internal,
+            ServeError::Disk(_) | ServeError::Internal(_) => ErrorCode::Internal,
         }
     }
 }

@@ -8,11 +8,12 @@ use dmcp::mach::rng::Rng64;
 use dmcp::mach::MachineConfig;
 use dmcp::serve::codec::encode_request;
 use dmcp::serve::wire::{
-    decode_error, read_frame, ErrorCode, FrameKind, WireError, FRAME_MAGIC, MAX_FRAME_BYTES,
-    WIRE_VERSION,
+    decode_error, read_frame, write_frame, ErrorCode, FrameKind, WireError, FRAME_MAGIC,
+    MAX_FRAME_BYTES, WIRE_VERSION,
 };
 use dmcp::serve::{
-    ClientConfig, NetConfig, PlanClient, PlanRequest, PlanServer, PlanService, ServeConfig,
+    ChaosAction, ChaosProxy, ClientConfig, ClientError, FaultyIo, MemIo, NetConfig, PlanClient,
+    PlanRequest, PlanServer, PlanService, ServeConfig, StorageIo,
 };
 use dmcp::workloads::{all, by_name, Scale};
 use std::io::{Read, Write};
@@ -284,4 +285,193 @@ fn concurrent_tcp_clients_share_one_compile_per_key() {
     assert_eq!(stats.submitted, 4 * distinct, "every request was admitted");
     halt(server, service);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A fast-retry client config for the chaos-proxy tests.
+fn chaos_client_config(seed: u64, max_retries: u32) -> ClientConfig {
+    ClientConfig {
+        io_timeout: Duration::from_secs(2),
+        max_retries,
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(40),
+        seed,
+        ..ClientConfig::default()
+    }
+}
+
+/// A bit flipped in the response payload in transit fails the frame
+/// checksum; the client treats it as retryable corruption, retries on a
+/// clean connection, and returns the *correct* plan — never the torn one.
+#[test]
+fn bit_flipped_response_is_rejected_by_checksum_and_retried_to_success() {
+    let dir = tmpdir("bit-flip");
+    let (server, service, addr) = boot(&dir, NetConfig::default());
+
+    // Fetch the reference bytes directly first (this also warms the key,
+    // keeping the proxied exchange deterministic).
+    let payload = encode_request(&request("fft"));
+    let mut direct = PlanClient::connect(addr, ClientConfig::default()).expect("connect direct");
+    let reference = direct.plan_bytes(&payload).expect("reference plan");
+
+    // Connection 0 flips a payload bit; connection 1 passes through.
+    let proxy = ChaosProxy::start(
+        addr,
+        vec![ChaosAction::BitFlip { offset: 16, mask: 0x40 }, ChaosAction::Pass],
+    )
+    .expect("start proxy");
+    let mut client =
+        PlanClient::connect(proxy.local_addr(), chaos_client_config(0xB17F, 5)).expect("connect");
+    let got = client.plan_bytes(&payload).expect("plan despite corruption");
+    assert_eq!(got, reference, "the retried plan must be the correct bytes");
+    assert!(client.counters().retries >= 1, "the flipped response must have cost a retry");
+    assert_eq!(proxy.counters().flipped, 1, "the proxy flipped exactly one byte");
+
+    proxy.stop();
+    halt(server, service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A response truncated mid-frame surfaces promptly as a typed, retryable
+/// i/o error — the client never hands back a partial plan, and the
+/// deadline (not a hang) ends the read.
+#[test]
+fn mid_frame_truncation_is_a_prompt_typed_error_never_a_torn_plan() {
+    let dir = tmpdir("truncate");
+    let (server, service, addr) = boot(&dir, NetConfig::default());
+    let payload = encode_request(&request("lu"));
+    let mut direct = PlanClient::connect(addr, ClientConfig::default()).expect("connect direct");
+    direct.plan_bytes(&payload).expect("warm the key");
+
+    // 16 bytes = the 12-byte header plus 4 payload bytes, then the cut.
+    let proxy =
+        ChaosProxy::start(addr, vec![ChaosAction::Drop { after: 16 }]).expect("start proxy");
+    let mut client =
+        PlanClient::connect(proxy.local_addr(), chaos_client_config(0x7C07, 0)).expect("connect");
+    let started = Instant::now();
+    let err = client.plan_bytes(&payload).expect_err("truncation must not yield a plan");
+    assert!(matches!(err, ClientError::Io(_)), "truncation is an i/o error, got {err:?}");
+    assert!(err.retryable(), "a cut connection is worth retrying");
+    assert!(started.elapsed() < Duration::from_secs(4), "the deadline must cut the read promptly");
+
+    proxy.stop();
+    halt(server, service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Under a storm that refuses every connection, the client spends its
+/// bounded backoff budget and returns a typed retryable error — it never
+/// fabricates a plan, and the server still serves direct traffic.
+#[test]
+fn drop_storm_exhausts_bounded_backoff_with_a_typed_error_never_a_wrong_plan() {
+    let dir = tmpdir("drop-storm");
+    let (server, service, addr) = boot(&dir, NetConfig::default());
+    let payload = encode_request(&request("ocean"));
+    let mut direct = PlanClient::connect(addr, ClientConfig::default()).expect("connect direct");
+    let reference = direct.plan_bytes(&payload).expect("reference plan");
+
+    let proxy =
+        ChaosProxy::start(addr, vec![ChaosAction::Drop { after: 0 }; 16]).expect("start proxy");
+    let max_retries = 3;
+    let mut client =
+        PlanClient::connect(proxy.local_addr(), chaos_client_config(0xD707, max_retries))
+            .expect("connect");
+    let started = Instant::now();
+    let err = client.plan_bytes(&payload).expect_err("storm must not yield a plan");
+    assert!(err.retryable(), "the storm surfaces as a retryable class, got {err:?}");
+    let counters = client.counters();
+    assert_eq!(counters.attempts, u64::from(max_retries) + 1, "attempts are bounded");
+    assert_eq!(counters.failed, 1, "exactly one request failed");
+    assert!(counters.backoff > Duration::ZERO, "retries must have backed off");
+    assert!(started.elapsed() < Duration::from_secs(5), "backoff is bounded, not a hang");
+
+    // The same request direct to the server still answers correctly.
+    let after = direct.plan_bytes(&payload).expect("direct path still serves");
+    assert_eq!(after, reference, "the storm must not corrupt the served plan");
+
+    proxy.stop();
+    halt(server, service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end graceful degradation: every disk op failing mid-run flips
+/// the tier to memory-only — requests keep succeeding — and lifting the
+/// storm lets a re-probe restore the tier with nothing left parked.
+#[test]
+fn disk_storm_degrades_to_memory_only_and_recovers_end_to_end() {
+    let mem = MemIo::new();
+    let faulty = FaultyIo::new(Arc::new(mem), 0xD15C);
+    let chaos = faulty.chaos();
+    let config = ServeConfig {
+        disk_dir: Some("/e2e-chaos".into()),
+        disk_io: Some(Arc::new(faulty) as Arc<dyn StorageIo>),
+        disk_reprobe: Duration::from_millis(10),
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(PlanService::try_new(config).expect("open virtual tier"));
+    let server = PlanServer::start(Arc::clone(&service), "127.0.0.1:0", NetConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    let mut client = PlanClient::connect(addr, ClientConfig::default()).expect("connect");
+
+    for name in ["fft", "lu", "ocean"] {
+        client.plan_bytes(&encode_request(&request(name))).expect("healthy plan");
+    }
+    chaos.set_storm(true);
+    for name in ["barnes", "radix", "water"] {
+        client.plan_bytes(&encode_request(&request(name))).expect("plan during disk storm");
+    }
+    let stats = client.stats().expect("storm stats");
+    assert!(stats.disk.degraded, "the storm must degrade the tier to memory-only");
+    assert!(stats.disk.errors > 0, "disk failures must be counted");
+
+    chaos.set_storm(false);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let recovered = loop {
+        let s = client.stats().expect("recovery stats");
+        if !s.disk.degraded && s.disk.pending_records == 0 {
+            break true;
+        }
+        if Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(recovered, "the tier must restore and drain once the storm lifts");
+
+    halt(server, service);
+}
+
+/// A panic inside the compile path is contained as an `Internal` error
+/// frame; the connection stays open and answers the next request on the
+/// same socket, and the panic is counted.
+#[test]
+fn compile_panic_answers_internal_frame_and_keeps_the_connection_open() {
+    let config = ServeConfig { chaos_compile_panic: true, ..ServeConfig::default() };
+    let service = Arc::new(PlanService::try_new(config).expect("service"));
+    let server = PlanServer::start(Arc::clone(&service), "127.0.0.1:0", NetConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect raw");
+    for round in 0..2 {
+        let payload = encode_request(&request(if round == 0 { "fft" } else { "lu" }));
+        write_frame(&mut stream, FrameKind::PlanRequest, &payload).expect("write request");
+        match read_reply(&mut stream) {
+            Ok((FrameKind::Error, payload)) => {
+                let (code, msg) = decode_error(&payload);
+                assert_eq!(code, ErrorCode::Internal, "round {round}: panic maps to Internal");
+                assert!(
+                    msg.contains("contained"),
+                    "round {round}: the message names the containment, got {msg:?}"
+                );
+            }
+            other => panic!("round {round}: expected an Internal error frame, got {other:?}"),
+        }
+    }
+    drop(stream);
+
+    let mut client = PlanClient::connect(addr, ClientConfig::default()).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.panics, 2, "every contained panic is counted");
+    halt(server, service);
 }
