@@ -7,8 +7,14 @@
 //! bound degenerates to zero while the planner moves data (a vacuous
 //! bound is a regression of the dashboard itself).
 //!
+//! With `--pins` it additionally fails if any Tiny-scale workload's gap
+//! ratio regresses above its pinned value in [`GAP_RATIO_PINS`] — the
+//! CI guard that keeps the Steiner relay pass's tightenings from
+//! silently eroding. Re-pin (by re-running without `--pins` and copying
+//! the table) only alongside an intentional planner change.
+//!
 //! ```text
-//! dmcp-bound [--scale tiny|small|full] [--out BENCH_bound.json]
+//! dmcp-bound [--scale tiny|small|full] [--out BENCH_bound.json] [--pins]
 //! ```
 
 use dmcp_bound::{gap_report, GapReport};
@@ -18,6 +24,28 @@ use dmcp_workloads::{all, Scale};
 use std::process::ExitCode;
 
 const EXPECTED_WORKLOADS: usize = 12;
+
+/// Maximum allowed gap ratio per workload at Tiny scale, pinned after
+/// the Steiner relay pass landed (LU 92.69→92.50, Radiosity 2.60→2.59;
+/// every other workload's MST plan was already relay-free optimal under
+/// the pass's strict gate).
+const GAP_RATIO_PINS: &[(&str, f64)] = &[
+    ("Barnes", 2.9054),
+    ("Cholesky", 150.2821),
+    ("FFT", 8.3439),
+    ("FMM", 7.7056),
+    ("LU", 92.5000),
+    ("Ocean", 4.9918),
+    ("Radiosity", 2.5947),
+    ("Radix", 2.8190),
+    ("Raytrace", 5.9534),
+    ("Water", 8.7240),
+    ("MiniMD", 5.7728),
+    ("MiniXyce", 7.2211),
+];
+
+/// Slack for the 4-decimal rendering of the pinned ratios.
+const PIN_TOLERANCE: f64 = 5e-5;
 
 fn render_json(reports: &[GapReport], sound: bool) -> String {
     let mut out = String::from("{\n  \"workloads\": [\n");
@@ -50,6 +78,7 @@ fn render_json(reports: &[GapReport], sound: bool) -> String {
 fn main() -> ExitCode {
     let mut scale = Scale::Tiny;
     let mut out_path = "BENCH_bound.json".to_string();
+    let mut pins = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -69,11 +98,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--pins" => pins = true,
             other => {
-                eprintln!("unknown flag {other}; usage: dmcp-bound [--scale S] [--out PATH]");
+                eprintln!(
+                    "unknown flag {other}; usage: dmcp-bound [--scale S] [--out PATH] [--pins]"
+                );
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if pins && !matches!(scale, Scale::Tiny) {
+        eprintln!("--pins is only meaningful at --scale tiny (the pinned table's scale)");
+        return ExitCode::FAILURE;
     }
 
     let machine = MachineConfig::knl_like();
@@ -116,6 +152,19 @@ fn main() -> ExitCode {
         }
         if !r.gap_ratio().is_finite() {
             failures.push(format!("{}: non-finite gap ratio", r.name));
+        }
+        if pins {
+            match GAP_RATIO_PINS.iter().find(|(n, _)| *n == r.name) {
+                Some((_, max)) if r.gap_ratio() > max + PIN_TOLERANCE => {
+                    failures.push(format!(
+                        "{}: gap ratio {:.4} regressed above its pin {max:.4}",
+                        r.name,
+                        r.gap_ratio()
+                    ));
+                }
+                Some(_) => {}
+                None => failures.push(format!("{}: no gap-ratio pin for this workload", r.name)),
+            }
         }
     }
 

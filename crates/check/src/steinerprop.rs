@@ -1,0 +1,159 @@
+//! Properties of the Steiner relay placement pass
+//! ([`dmcp_core::SteinerPass`], DESIGN.md §16).
+//!
+//! * **No regression** — on every generated case, healthy *and* degraded,
+//!   partitioning with the pass on yields per-nest optimized movement no
+//!   larger than with the pass off, and bit-identical default movement
+//!   (default accounting never depends on placement choices, so a
+//!   difference there means the pass leaked into the baseline). The pass
+//!   guards each nest by simulated post-split movement and keeps the
+//!   plain MST plan unless relays strictly win, so any violation is a
+//!   gate bug worth a shrunken case.
+//! * **Relay legality under faults** — the degraded relayed plan places
+//!   every step on a usable node: relay candidates are drawn from the
+//!   live set, so a junction can never land on a dead tile. (The conform
+//!   properties assert this too; it is restated here so a
+//!   `--only steiner` sweep proves it on its own.)
+//! * **Exact optimality in the oracle regime** — for flat reorderable
+//!   chains with singleton candidate sets, the relayed planner's movement
+//!   equals the Dreyfus–Wagner Steiner minimum bit for bit, and never
+//!   exceeds the MST-only movement. Delegates to
+//!   [`crate::oracle::check_oracle_case`], which plans every case both
+//!   ways and asserts the full sandwich.
+
+use crate::gencase::CaseSpec;
+use crate::oracle::check_oracle_case;
+use dmcp_core::{PartitionConfig, PartitionOutput, Partitioner, PlanOptions};
+use dmcp_mach::rng::Rng64;
+use dmcp_mach::FaultState;
+
+/// Demands, per nest: `movement_opt(on) ≤ movement_opt(off)` and
+/// `movement_default(on) == movement_default(off)`.
+fn compare(label: &str, on: &PartitionOutput, off: &PartitionOutput) -> Result<(), String> {
+    if on.nests.len() != off.nests.len() {
+        return Err(format!(
+            "{label}: nest counts diverged with the pass on ({} vs {})",
+            on.nests.len(),
+            off.nests.len()
+        ));
+    }
+    for (nest, (a, b)) in on.nests.iter().zip(&off.nests).enumerate() {
+        if a.stats.movement_default != b.stats.movement_default {
+            return Err(format!(
+                "{label}: nest {nest} default movement changed with the pass on: {} vs {} \
+                 (the baseline must be placement-independent)",
+                a.stats.movement_default, b.stats.movement_default
+            ));
+        }
+        if a.stats.movement_opt > b.stats.movement_opt {
+            return Err(format!(
+                "{label}: nest {nest} regressed with the pass on: {} > {}",
+                a.stats.movement_opt, b.stats.movement_opt
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Partitions a built case twice (pass on, pass off), healthy first and
+/// then — when the spec carries faults — degraded, demanding the
+/// no-regression and legality laws above.
+pub fn check_steiner_no_regress(spec: &CaseSpec) -> Result<(), String> {
+    let built = spec.build()?;
+    let on_cfg = PartitionConfig {
+        opts: PlanOptions { steiner: true, ..built.config.opts },
+        ..built.config.clone()
+    };
+    let off_cfg = PartitionConfig {
+        opts: PlanOptions { steiner: false, ..built.config.opts },
+        ..built.config.clone()
+    };
+
+    let on = Partitioner::new(&built.machine, &built.program, on_cfg.clone())
+        .partition_with_data(&built.program, &built.data);
+    let off = Partitioner::new(&built.machine, &built.program, off_cfg.clone())
+        .partition_with_data(&built.program, &built.data);
+    compare("healthy", &on, &off)?;
+
+    let Some(plan) = &built.faults else {
+        return Ok(());
+    };
+    let Ok(state) = FaultState::new(plan.clone(), built.machine.mesh) else {
+        return Ok(()); // no live nodes: nothing to place either way
+    };
+    let (Ok(don), Ok(doff)) = (
+        Partitioner::new_degraded(&built.machine, &built.program, on_cfg, &state),
+        Partitioner::new_degraded(&built.machine, &built.program, off_cfg, &state),
+    ) else {
+        return Ok(());
+    };
+    let don_out = don.partition_with_data(&built.program, &built.data);
+    let doff_out = doff.partition_with_data(&built.program, &built.data);
+    compare("degraded", &don_out, &doff_out)?;
+
+    if !state.is_trivial() {
+        for nest in &don_out.nests {
+            for step in &nest.schedule.steps {
+                if !state.is_usable(step.node) {
+                    return Err(format!(
+                        "degraded relayed plan placed step {:?} on unusable node {:?}",
+                        step.id, step.node
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The oracle-regime exactness law: the relayed planner realises the
+/// Steiner minimum bit for bit and never moves more than the MST-only
+/// planner.
+pub fn check_steiner_exact(rng: &mut Rng64) -> Result<(), String> {
+    let outcome = check_oracle_case(rng)?;
+    if outcome.movement_steiner > outcome.movement_opt {
+        return Err(format!(
+            "relays increased oracle-regime movement: {} > {} ({outcome:?})",
+            outcome.movement_steiner, outcome.movement_opt
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gencase::gen_mask_case;
+
+    #[test]
+    fn steiner_no_regression_holds_over_a_sweep() {
+        let mut rng = Rng64::new(31);
+        for _ in 0..8 {
+            let spec = gen_mask_case(&mut rng, 160);
+            check_steiner_no_regress(&spec).unwrap_or_else(|e| panic!("{e}\ncase:\n{spec}"));
+        }
+    }
+
+    #[test]
+    fn steiner_no_regression_holds_on_faulted_cases() {
+        let mut rng = Rng64::new(32);
+        let mut exercised = 0;
+        for _ in 0..25 {
+            let spec = gen_mask_case(&mut rng, 160);
+            if spec.faults.is_none() {
+                continue;
+            }
+            exercised += 1;
+            check_steiner_no_regress(&spec).unwrap_or_else(|e| panic!("{e}\ncase:\n{spec}"));
+        }
+        assert!(exercised > 3, "generator produced too few faulted cases");
+    }
+
+    #[test]
+    fn steiner_exactness_holds_over_a_seed_sweep() {
+        let mut rng = Rng64::new(33);
+        for _ in 0..40 {
+            check_steiner_exact(&mut rng).expect("oracle-regime exactness");
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The Steiner relay placement pass (DESIGN.md §16).
+//!
+//! The paper's planner pays MST-weight movement per statement, but the
+//! exact group-Steiner minimum is strictly lower whenever a relay node
+//! helps — a junction tile that holds no operand can still combine
+//! partial results closer to where they are produced. This pass promotes
+//! the Steiner construction from the `dmcp-check` oracle into the
+//! planner itself:
+//!
+//! * per statement, the [`crate::split::Planner`] (with
+//!   [`PlanOptions::steiner`] on) augments the outermost tree with relay
+//!   vertices from [`dmcp_mach::graph::steiner_relays_sets`] — exact
+//!   Dreyfus–Wagner junctions for terminal sets of ≤
+//!   [`dmcp_mach::graph::EXACT_SET_LIMIT`], a 2-approx via
+//!   MST-on-metric-closure with path shortcutting above that — and keeps
+//!   them only when the pruned relayed tree is *strictly* cheaper than
+//!   the plain MST;
+//! * per nest, this pass places the nest both ways and keeps the relayed
+//!   plan only when its predicted *post-split* movement is strictly
+//!   lower. The split decision ([`crate::pipeline::SplitPass`]) judges
+//!   warm movement and can replace a plan with default execution, so a
+//!   gate on raw planned movement alone could regress through the
+//!   replan; simulating the split outcome on both candidates makes the
+//!   guarantee end-to-end.
+//!
+//! Both guards follow the measured-movement style of DESIGN.md §7 (item
+//! 6): when Steiner does not strictly win, the pass is a bit-identical
+//! no-op, so healthy and degraded plans only ever improve. On degraded
+//! machines relay candidates are restricted to live nodes, so a relay
+//! step can always execute.
+
+use crate::pipeline::{Pass, PlanCtx};
+use crate::split::PlanOptions;
+use crate::window::NestPlan;
+
+/// Pass 3: Steiner relay placement, between the window search and the
+/// plain placement pass. A no-op when the config disables it
+/// (`opts.steiner = false`) or when generating baselines
+/// (`force_default`); otherwise every nest is placed here and
+/// [`crate::pipeline::PlacePass`] has nothing left to do.
+pub struct SteinerPass;
+
+impl Pass for SteinerPass {
+    fn name(&self) -> &'static str {
+        "steiner"
+    }
+
+    fn run(&self, ctx: &mut PlanCtx) {
+        if ctx.force_default || !ctx.config.opts.steiner {
+            return;
+        }
+        let pairs: Vec<(NestPlan, NestPlan)> = {
+            let c: &PlanCtx = ctx;
+            c.pool.run(c.nests.len(), |pos| {
+                let w = c.nests[pos].window.expect("window decided before steiner");
+                let mst = PlanOptions { steiner: false, ..c.config.opts };
+                let relayed = PlanOptions { steiner: true, ..c.config.opts };
+                (c.place_opts(pos, w, None, false, mst), c.place_opts(pos, w, None, false, relayed))
+            })
+        };
+        let threshold = ctx.config.opts.split_threshold;
+        for (nc, (mst, relayed)) in ctx.nests.iter_mut().zip(pairs) {
+            let winner = if final_movement(&relayed, threshold) < final_movement(&mst, threshold) {
+                relayed
+            } else {
+                mst
+            };
+            nc.plan = Some(winner);
+        }
+    }
+}
+
+/// The nest's planned movement *after* the split decision: the split
+/// pass replaces a flagged plan (warm planned movement not clearly below
+/// default) with a default re-plan, whose movement is the default
+/// estimate — which is identical across placement modes, since default
+/// accounting never depends on placement choices.
+fn final_movement(plan: &NestPlan, split_threshold: f64) -> u64 {
+    let (warm_opt, warm_def) = plan.stats.warm_movement();
+    if warm_opt as f64 > split_threshold * warm_def as f64 {
+        plan.stats.movement_default
+    } else {
+        plan.stats.movement_opt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::{PartitionConfig, Partitioner};
+    use crate::pipeline::passes;
+    use dmcp_ir::ProgramBuilder;
+    use dmcp_mach::MachineConfig;
+    use dmcp_pool::Pool;
+
+    fn program() -> dmcp_ir::program::Program {
+        let mut b = ProgramBuilder::new();
+        for n in ["A", "B", "C", "D", "E", "X", "Y"] {
+            b.array(n, &[256], 8);
+        }
+        b.nest(&[("i", 0, 48)], &["A[i] = B[i] + C[i] + D[i] + E[i]", "X[i] = Y[i] + C[i] + E[i]"])
+            .unwrap();
+        b.build()
+    }
+
+    fn total_movement(cfg: PartitionConfig) -> u64 {
+        let p = program();
+        let machine = MachineConfig::knl_like();
+        let part = Partitioner::new(&machine, &p, cfg);
+        let data = p.initial_data();
+        let out = part.partition_with_data_pooled(&p, &data, &Pool::single());
+        out.nests.iter().map(|n| n.stats.movement_opt).sum()
+    }
+
+    #[test]
+    fn steiner_pass_never_regresses_total_movement() {
+        let off = PartitionConfig {
+            opts: PlanOptions { steiner: false, ..PlanOptions::default() },
+            ..PartitionConfig::default()
+        };
+        let on = PartitionConfig {
+            opts: PlanOptions { steiner: true, ..PlanOptions::default() },
+            ..PartitionConfig::default()
+        };
+        assert!(total_movement(on) <= total_movement(off));
+    }
+
+    #[test]
+    fn steiner_pass_is_inert_when_disabled_or_forced() {
+        let p = program();
+        let machine = MachineConfig::knl_like();
+        let cfg = PartitionConfig {
+            opts: PlanOptions { steiner: false, ..PlanOptions::default() },
+            ..PartitionConfig::default()
+        };
+        let part = Partitioner::new(&machine, &p, cfg);
+        let data = p.initial_data();
+        let pool = Pool::single();
+        let mut ctx = PlanCtx::new(&part, &p, &data, &pool, false, &[2]);
+        passes()[0].run(&mut ctx); // analyze
+        SteinerPass.run(&mut ctx);
+        assert!(ctx.nests.iter().all(|n| n.plan.is_none()), "disabled steiner pass must not place");
+
+        let part = Partitioner::new(&machine, &p, PartitionConfig::default());
+        let mut ctx = PlanCtx::new(&part, &p, &data, &pool, true, &[]);
+        passes()[0].run(&mut ctx);
+        SteinerPass.run(&mut ctx);
+        assert!(
+            ctx.nests.iter().all(|n| n.plan.is_none()),
+            "force_default steiner pass must not place"
+        );
+    }
+
+    #[test]
+    fn steiner_pass_places_every_nest_when_enabled() {
+        let p = program();
+        let machine = MachineConfig::knl_like();
+        let part = Partitioner::new(&machine, &p, PartitionConfig::default());
+        let data = p.initial_data();
+        let pool = Pool::single();
+        let mut ctx = PlanCtx::new(&part, &p, &data, &pool, false, &[2]);
+        passes()[0].run(&mut ctx);
+        SteinerPass.run(&mut ctx);
+        assert!(ctx.nests.iter().all(|n| n.plan.is_some()));
+    }
+}

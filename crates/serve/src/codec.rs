@@ -397,6 +397,7 @@ pub fn encode_request(req: &PlanRequest) -> Vec<u8> {
     e.u8(u8::from(c.opts.ideal_analysis));
     e.f64(c.opts.balance_threshold);
     e.f64(c.opts.split_threshold);
+    e.u8(u8::from(c.opts.steiner));
     e.u8(match c.predictor {
         PredictorSpec::Reuse => 0,
         PredictorSpec::L2Model => 1,
@@ -640,6 +641,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<PlanRequest, CodecError> {
     config.opts.ideal_analysis = d.u8()? != 0;
     config.opts.balance_threshold = d.f64()?;
     config.opts.split_threshold = d.f64()?;
+    config.opts.steiner = d.u8()? != 0;
     config.predictor = match d.u8()? {
         0 => PredictorSpec::Reuse,
         1 => PredictorSpec::L2Model,
@@ -1043,10 +1045,12 @@ mod tests {
         req.faults = Some(faults);
         req.config.fixed_window = Some(4);
         req.config.opts.reuse_aware = false;
+        req.config.opts.steiner = false;
         let decoded = decode_request(&encode_request(&req)).expect("decodes");
         assert_eq!(req.key(), decoded.key());
         assert_eq!(decoded.config.fixed_window, Some(4));
         assert!(!decoded.config.opts.reuse_aware);
+        assert!(!decoded.config.opts.steiner);
         let f = decoded.faults.expect("faults survive");
         assert_eq!(f.seed(), 0xFA17);
         assert_eq!(f.dead_nodes().count(), 1);
